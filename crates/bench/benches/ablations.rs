@@ -1,0 +1,125 @@
+//! Criterion benches for the ablation studies (DESIGN.md §5):
+//!
+//! * `baseline_leap` — recording under the LEAP-style baseline vs Chimera
+//!   on the same workload (the paper's related-work comparison, §8).
+//! * `timeout_sweep` — cost of resolving the §2.3 condvar deadlock at
+//!   different weak-lock timeout thresholds.
+//! * `pta_precision` — race detection with Steensgaard vs Andersen
+//!   aliasing (§3.3's second imprecision source).
+
+use chimera::{analyze_workload, OptSet};
+use chimera_instrument::{apply, plan_leap_baseline};
+use chimera_minic::compile;
+use chimera_minic::diag::Span;
+use chimera_minic::ir::{Instr, LockGranularity, Terminator, WeakLockId};
+use chimera_replay::record;
+use chimera_runtime::ExecConfig;
+use chimera_workloads::by_name;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baseline_leap(c: &mut Criterion) {
+    let exec = ExecConfig::default();
+    let mut group = c.benchmark_group("baseline_leap");
+    group.sample_size(10);
+    for name in ["radix", "apache"] {
+        let w = by_name(name).expect("workload exists");
+        let chimera = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+        let leap = apply(&chimera.program, &plan_leap_baseline(&chimera.program));
+        group.bench_with_input(
+            BenchmarkId::new("chimera", name),
+            &chimera.instrumented,
+            |b, p| b.iter(|| record(p, &exec)),
+        );
+        group.bench_with_input(BenchmarkId::new("leap", name), &leap, |b, p| {
+            b.iter(|| record(p, &exec))
+        });
+    }
+    group.finish();
+}
+
+fn deadlocky_program() -> chimera_minic::ir::Program {
+    let mut p = compile(
+        "int ready; int data; lock_t m; cond_t c;
+         void consumer(int unused) {
+             lock(&m);
+             while (ready == 0) { cond_wait(&c, &m); }
+             print(data);
+             unlock(&m);
+         }
+         void producer(int v) {
+             lock(&m); data = v; ready = 1; cond_signal(&c); unlock(&m);
+         }
+         int main() {
+             int t1; int t2;
+             t1 = spawn(consumer, 0);
+             t2 = spawn(producer, 77);
+             join(t1); join(t2); return 0;
+         }",
+    )
+    .expect("valid");
+    for name in ["consumer", "producer"] {
+        let fid = p.func_by_name(name).unwrap().id;
+        let f = &mut p.funcs[fid.index()];
+        let entry = f.entry;
+        f.block_mut(entry).instrs.insert(
+            0,
+            Instr::WeakAcquire {
+                lock: WeakLockId(0),
+                granularity: LockGranularity::Function,
+                range: None,
+            },
+        );
+        f.block_mut(entry).spans.insert(0, Span::default());
+        for b in 0..f.blocks.len() {
+            if matches!(f.blocks[b].term, Terminator::Return(_)) {
+                f.blocks[b].instrs.push(Instr::WeakRelease {
+                    lock: WeakLockId(0),
+                });
+                f.blocks[b].spans.push(Span::default());
+            }
+        }
+    }
+    p.weak_locks = 1;
+    p
+}
+
+fn bench_timeout_sweep(c: &mut Criterion) {
+    let p = deadlocky_program();
+    let mut group = c.benchmark_group("timeout_sweep");
+    group.sample_size(20);
+    for timeout in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(timeout), &timeout, |b, &t| {
+            b.iter(|| {
+                chimera_runtime::execute(
+                    &p,
+                    &ExecConfig {
+                        weak_timeout: t,
+                        ..ExecConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pta_precision(c: &mut Criterion) {
+    let w = by_name("water").expect("water exists");
+    let p = w.compile(&w.eval_params(4)).unwrap();
+    let mut group = c.benchmark_group("pta_precision");
+    group.bench_function("detect_steensgaard", |b| {
+        b.iter(|| chimera_relay::detect_races(&p))
+    });
+    group.bench_function("detect_andersen", |b| {
+        b.iter(|| chimera_relay::detect_races_with_andersen(&p))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_baseline_leap,
+    bench_timeout_sweep,
+    bench_pta_precision
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the dynamic side of the evaluation: recording and
+//! replaying each workload (Table 2 / Figure 5 / Figure 8 inputs).
+//!
+//! One bench group per paper artifact:
+//! * `table2_record` — record each workload with all optimizations.
+//! * `table2_replay` — replay each workload from its recording.
+//! * `fig5_configs`  — record `radix` under each optimization set.
+//! * `fig8_workers`  — record `ocean` at 2/4/8 workers.
+
+use chimera::{analyze_workload, OptSet};
+use chimera_replay::{record, replay};
+use chimera_runtime::ExecConfig;
+use chimera_workloads::{all, by_name};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table2_record(c: &mut Criterion) {
+    let exec = ExecConfig::default();
+    let mut group = c.benchmark_group("table2_record");
+    group.sample_size(10);
+    for w in all() {
+        let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &analysis, |b, a| {
+            b.iter(|| record(&a.instrumented, &exec));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_replay(c: &mut Criterion) {
+    let exec = ExecConfig::default();
+    let mut group = c.benchmark_group("table2_replay");
+    group.sample_size(10);
+    for w in all() {
+        let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+        let recording = record(&analysis.instrumented, &exec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.name),
+            &(analysis, recording),
+            |b, (a, rec)| {
+                b.iter(|| replay(&a.instrumented, &rec.logs, &exec));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig5_configs(c: &mut Criterion) {
+    let exec = ExecConfig::default();
+    let w = by_name("radix").expect("radix exists");
+    let mut group = c.benchmark_group("fig5_configs");
+    group.sample_size(10);
+    for (label, opts) in [
+        ("instr", OptSet::naive()),
+        ("inst+func", OptSet::func_only()),
+        ("inst+loop", OptSet::loop_only()),
+        ("all", OptSet::all()),
+    ] {
+        let analysis = analyze_workload(&w, 2, &opts, 2, &exec);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &analysis, |b, a| {
+            b.iter(|| record(&a.instrumented, &exec));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_workers(c: &mut Criterion) {
+    let exec = ExecConfig::default();
+    let w = by_name("ocean").expect("ocean exists");
+    let mut group = c.benchmark_group("fig8_workers");
+    group.sample_size(10);
+    for workers in [2u32, 4, 8] {
+        let analysis = analyze_workload(&w, workers, &OptSet::all(), 2, &exec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &analysis,
+            |b, a| {
+                b.iter(|| record(&a.instrumented, &exec));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_record,
+    bench_table2_replay,
+    bench_fig5_configs,
+    bench_fig8_workers
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Shared helpers for the Chimera benchmark harness: plain-text table
+//! rendering used by the `tables` binary and the criterion benches.
+
+#![warn(missing_docs)]
+
+/// Render rows as an aligned plain-text table. The first row is treated as
+/// the header.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        for (i, cell) in r.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Format an overhead multiplier like the paper ("1.39x", "53x").
+pub fn fmt_x(v: f64) -> String {
+    if v >= 10.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    if v >= 0.01 {
+        format!("{:.1}%", v * 100.0)
+    } else {
+        format!("{:.3}%", v * 100.0)
+    }
+}
+
+/// Format a byte count in KB with one decimal.
+pub fn fmt_kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&[
+            vec!["name".into(), "value".into()],
+            vec!["a".into(), "1".into()],
+            vec!["longer".into(), "22".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn overhead_formatting_matches_paper_style() {
+        assert_eq!(fmt_x(1.39), "1.39x");
+        assert_eq!(fmt_x(53.0), "53x");
+        assert_eq!(fmt_pct(0.14), "14.0%");
+        assert_eq!(fmt_pct(0.0002), "0.020%");
+    }
+
+    #[test]
+    fn kb_formatting() {
+        assert_eq!(fmt_kb(2048), "2.0");
+    }
+}

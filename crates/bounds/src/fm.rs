@@ -1,0 +1,428 @@
+//! A small Fourier–Motzkin elimination engine over rationals.
+//!
+//! The paper's implementation generated linear-programming constraints from
+//! the loop dataflow and solved them with `lpsolve`. This module is the
+//! built-in replacement: a system of linear inequalities over integer
+//! variables, variable elimination by Fourier–Motzkin, and projection onto
+//! one variable to extract its implied bounds. The symbolic analysis in
+//! [`crate::range`] uses closed forms for the affine cases; the FM engine
+//! cross-checks those results in tests and handles ad-hoc constraint
+//! queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A rational number with `i128` parts, always kept in lowest terms with a
+/// positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Construct `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g.max(1),
+            den: (den * sign) / g.max(1),
+        }
+    }
+
+    /// The integer `n`.
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Zero.
+    pub fn zero() -> Rat {
+        Rat::int(0)
+    }
+
+    /// Numerator (lowest terms).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (positive, lowest terms).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Comparison.
+    pub fn lt(self, o: Rat) -> bool {
+        self.num * o.den < o.num * self.den
+    }
+
+    /// `<=` comparison.
+    pub fn le(self, o: Rat) -> bool {
+        self.num * o.den <= o.num * self.den
+    }
+
+    /// Floor to an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+
+    fn add(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+
+    fn sub(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+
+    fn mul(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// One inequality `Σ coeff·var + konst <= 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ineq {
+    /// Variable coefficients.
+    pub coeffs: BTreeMap<u32, Rat>,
+    /// Constant term.
+    pub konst: Rat,
+}
+
+impl Ineq {
+    /// Build `Σ coeff·var + konst <= 0` from integer coefficients.
+    pub fn le_zero(coeffs: &[(u32, i128)], konst: i128) -> Ineq {
+        Ineq {
+            coeffs: coeffs
+                .iter()
+                .filter(|(_, c)| *c != 0)
+                .map(|(v, c)| (*v, Rat::int(*c)))
+                .collect(),
+            konst: Rat::int(konst),
+        }
+    }
+
+    fn coeff(&self, v: u32) -> Rat {
+        self.coeffs.get(&v).copied().unwrap_or_else(Rat::zero)
+    }
+
+    /// Evaluate at a concrete point; true if satisfied.
+    pub fn satisfied(&self, point: &BTreeMap<u32, i128>) -> bool {
+        let mut acc = self.konst;
+        for (v, c) in &self.coeffs {
+            acc = acc.add(c.mul(Rat::int(point.get(v).copied().unwrap_or(0))));
+        }
+        acc.le(Rat::zero())
+    }
+}
+
+/// A conjunction of linear inequalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct System {
+    /// The inequalities.
+    pub ineqs: Vec<Ineq>,
+}
+
+impl System {
+    /// Empty (trivially satisfiable) system.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Add `Σ coeff·var + konst <= 0`.
+    pub fn le_zero(&mut self, coeffs: &[(u32, i128)], konst: i128) -> &mut Self {
+        self.ineqs.push(Ineq::le_zero(coeffs, konst));
+        self
+    }
+
+    /// Add `var <= value`.
+    pub fn var_le(&mut self, var: u32, value: i128) -> &mut Self {
+        self.le_zero(&[(var, 1)], -value)
+    }
+
+    /// Add `var >= value`.
+    pub fn var_ge(&mut self, var: u32, value: i128) -> &mut Self {
+        self.le_zero(&[(var, -1)], value)
+    }
+
+    /// Eliminate `var` by Fourier–Motzkin: pair every lower bound with
+    /// every upper bound; inequalities not mentioning `var` survive.
+    pub fn eliminate(&self, var: u32) -> System {
+        let mut lowers: Vec<&Ineq> = Vec::new(); // coeff < 0: gives var >= ...
+        let mut uppers: Vec<&Ineq> = Vec::new(); // coeff > 0: gives var <= ...
+        let mut rest: Vec<Ineq> = Vec::new();
+        for q in &self.ineqs {
+            match q.coeff(var).signum() {
+                0 => rest.push(q.clone()),
+                1 => uppers.push(q),
+                _ => lowers.push(q),
+            }
+        }
+        for lo in &lowers {
+            for up in &uppers {
+                // Normalize both to coefficient ±1 on var and add.
+                let cl = lo.coeff(var); // negative
+                let cu = up.coeff(var); // positive
+                let mut coeffs: BTreeMap<u32, Rat> = BTreeMap::new();
+                let mut konst = Rat::zero();
+                // lo / |cl| + up / cu eliminates var.
+                let scale_lo = Rat::int(1).div(Rat::int(-1).mul(cl)); // 1/|cl|
+                let scale_up = Rat::int(1).div(cu);
+                for (v, c) in &lo.coeffs {
+                    if *v == var {
+                        continue;
+                    }
+                    let e = coeffs.entry(*v).or_insert_with(Rat::zero);
+                    *e = e.add(c.mul(scale_lo));
+                }
+                konst = konst.add(lo.konst.mul(scale_lo));
+                for (v, c) in &up.coeffs {
+                    if *v == var {
+                        continue;
+                    }
+                    let e = coeffs.entry(*v).or_insert_with(Rat::zero);
+                    *e = e.add(c.mul(scale_up));
+                }
+                konst = konst.add(up.konst.mul(scale_up));
+                coeffs.retain(|_, c| c.signum() != 0);
+                rest.push(Ineq { coeffs, konst });
+            }
+        }
+        System { ineqs: rest }
+    }
+
+    /// Project out every variable except `var` and read off its implied
+    /// integer bounds `(lo, hi)`; `None` means unbounded on that side.
+    /// Returns `Err(())` if the system is infeasible.
+    #[allow(clippy::result_unit_err)]
+    pub fn bounds_of(&self, var: u32) -> Result<(Option<i128>, Option<i128>), ()> {
+        let vars: Vec<u32> = self
+            .ineqs
+            .iter()
+            .flat_map(|q| q.coeffs.keys().copied())
+            .filter(|v| *v != var)
+            .collect();
+        let mut sys = self.clone();
+        for v in vars {
+            sys = sys.eliminate(v);
+            if sys.trivially_infeasible() {
+                return Err(());
+            }
+        }
+        let mut lo: Option<Rat> = None;
+        let mut hi: Option<Rat> = None;
+        for q in &sys.ineqs {
+            let c = q.coeff(var);
+            match c.signum() {
+                0 => {
+                    if !q.konst.le(Rat::zero()) {
+                        return Err(());
+                    }
+                }
+                1 => {
+                    // c·var + k <= 0  =>  var <= -k/c
+                    let b = Rat::zero().sub(q.konst).div(c);
+                    hi = Some(match hi {
+                        None => b,
+                        Some(h) => {
+                            if b.lt(h) {
+                                b
+                            } else {
+                                h
+                            }
+                        }
+                    });
+                }
+                _ => {
+                    // c·var + k <= 0 with c<0  =>  var >= -k/c = k/|c|
+                    let b = Rat::zero().sub(q.konst).div(c);
+                    lo = Some(match lo {
+                        None => b,
+                        Some(l) => {
+                            if l.lt(b) {
+                                b
+                            } else {
+                                l
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if h.lt(l) {
+                return Err(());
+            }
+        }
+        Ok((lo.map(|r| r.ceil()), hi.map(|r| r.floor())))
+    }
+
+    fn trivially_infeasible(&self) -> bool {
+        self.ineqs
+            .iter()
+            .any(|q| q.coeffs.is_empty() && !q.konst.le(Rat::zero()))
+    }
+
+    /// Check a concrete point against all inequalities.
+    pub fn satisfied(&self, point: &BTreeMap<u32, i128>) -> bool {
+        self.ineqs.iter().all(|q| q.satisfied(point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rat_arithmetic_normalizes() {
+        let a = Rat::new(2, 4);
+        assert_eq!(a, Rat::new(1, 2));
+        assert_eq!(a.add(a), Rat::int(1));
+        assert_eq!(Rat::new(1, -2).den(), 2);
+        assert_eq!(Rat::new(1, -2).num(), -1);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+    }
+
+    #[test]
+    fn simple_box_bounds() {
+        // 0 <= x <= 10
+        let mut s = System::new();
+        s.var_ge(0, 0).var_le(0, 10);
+        assert_eq!(s.bounds_of(0), Ok((Some(0), Some(10))));
+    }
+
+    #[test]
+    fn derived_bound_through_elimination() {
+        // x = addr, x = base + j (encoded as two inequalities), 0 <= j <= 15,
+        // base = 100 -> addr in [100, 115].
+        let (addr, j, base) = (0u32, 1u32, 2u32);
+        let mut s = System::new();
+        // addr - base - j <= 0 and base + j - addr <= 0  (addr == base + j)
+        s.le_zero(&[(addr, 1), (base, -1), (j, -1)], 0);
+        s.le_zero(&[(addr, -1), (base, 1), (j, 1)], 0);
+        s.var_ge(j, 0).var_le(j, 15);
+        s.var_ge(base, 100).var_le(base, 100);
+        assert_eq!(s.bounds_of(addr), Ok((Some(100), Some(115))));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut s = System::new();
+        s.var_ge(0, 10).var_le(0, 5);
+        assert!(s.bounds_of(0).is_err());
+    }
+
+    #[test]
+    fn unbounded_side_reported_none() {
+        let mut s = System::new();
+        s.var_ge(0, 3);
+        assert_eq!(s.bounds_of(0), Ok((Some(3), None)));
+    }
+
+    #[test]
+    fn rational_slopes_tighten_to_integers() {
+        // 2x <= 7 -> x <= 3 (integer floor).
+        let mut s = System::new();
+        s.le_zero(&[(0, 2)], -7);
+        s.var_ge(0, 0);
+        assert_eq!(s.bounds_of(0), Ok((Some(0), Some(3))));
+    }
+
+    proptest! {
+        /// Eliminating a variable never cuts off points that satisfied the
+        /// original system (projection soundness).
+        #[test]
+        fn elimination_is_sound(
+            a in -5i128..=5, b in -5i128..=5, c in -20i128..=20,
+            d in -5i128..=5, e in -5i128..=5, f in -20i128..=20,
+            x in -10i128..=10, y in -10i128..=10,
+        ) {
+            let mut s = System::new();
+            s.le_zero(&[(0, a), (1, b)], c);
+            s.le_zero(&[(0, d), (1, e)], f);
+            let mut point = std::collections::BTreeMap::new();
+            point.insert(0u32, x);
+            point.insert(1u32, y);
+            if s.satisfied(&point) {
+                let elim = s.eliminate(0);
+                prop_assert!(elim.satisfied(&point), "projection lost a feasible point");
+            }
+        }
+
+        /// Bounds from bounds_of always contain every feasible point.
+        #[test]
+        fn bounds_contain_feasible_points(
+            lo in -20i128..=0, hi in 0i128..=20, shift in -10i128..=10,
+            x in -30i128..=30,
+        ) {
+            let mut s = System::new();
+            // lo <= x - shift <= hi
+            s.le_zero(&[(0, -1)], lo + shift);
+            s.le_zero(&[(0, 1)], -(hi + shift));
+            let mut point = std::collections::BTreeMap::new();
+            point.insert(0u32, x);
+            if s.satisfied(&point) {
+                let (l, h) = s.bounds_of(0).expect("feasible");
+                prop_assert!(l.is_none_or(|l| l <= x));
+                prop_assert!(h.is_none_or(|h| x <= h));
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Basic induction-variable detection and symbolic trip ranges.
+
+use crate::sym::{Sym, SymExpr};
+use chimera_minic::ast::BinOp;
+use chimera_minic::ir::{Function, Instr, LocalId, Operand, Terminator};
+use chimera_minic::loops::Loop;
+
+/// A basic induction variable: a register whose only definitions inside the
+/// loop have the form `x = x ± c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndVar {
+    /// The variable.
+    pub local: LocalId,
+    /// Net step per definition (sign included).
+    pub step: i64,
+    /// Inclusive symbolic lower bound over loop-entry symbols, if the
+    /// header test pins one down.
+    pub lo: Option<SymExpr>,
+    /// Inclusive symbolic upper bound.
+    pub hi: Option<SymExpr>,
+}
+
+/// Find basic induction variables of `lp` and derive their ranges from the
+/// header's exit test.
+pub fn find_induction_vars(func: &Function, lp: &Loop) -> Vec<IndVar> {
+    let mut cands: Vec<IndVar> = Vec::new();
+    // Group definitions inside the loop by defined local.
+    let mut defs: std::collections::BTreeMap<LocalId, Vec<&Instr>> =
+        std::collections::BTreeMap::new();
+    for b in &lp.blocks {
+        for i in &func.block(*b).instrs {
+            if let Some(d) = def_of(i) {
+                defs.entry(d).or_default().push(i);
+            }
+        }
+    }
+    for (local, instrs) in &defs {
+        // Every def must amount to x = x ± c with one consistent step. The
+        // lowerer emits `t = x + c; x = t`, so follow one def chain through
+        // copies and temporaries.
+        let mut step: Option<i64> = None;
+        let mut ok = true;
+        for i in instrs {
+            match step_of(i, *local, &defs, 0) {
+                Some(c) => {
+                    if step.is_some_and(|s| s != c) {
+                        ok = false;
+                    }
+                    step = Some(c);
+                }
+                None => ok = false,
+            }
+        }
+        if let (true, Some(step)) = (ok, step) {
+            if step != 0 {
+                cands.push(IndVar {
+                    local: *local,
+                    step,
+                    lo: None,
+                    hi: None,
+                });
+            }
+        }
+    }
+
+    // Derive ranges from the header exit test.
+    let header = func.block(lp.header);
+    if let Terminator::Branch { cond, then_bb, .. } = &header.term {
+        // The branch must exit the loop on the false edge (the common
+        // `for`/`while` shape produced by the lowerer): then = body.
+        let body_on_then = lp.blocks.contains(then_bb);
+        if let Operand::Local(cond_local) = cond {
+            // Find the comparison defining the condition in the header.
+            let cmp = header.instrs.iter().rev().find_map(|i| match i {
+                Instr::BinOp { dst, op, a, b } if dst == cond_local => Some((*op, *a, *b)),
+                _ => None,
+            });
+            if let (Some((op, a, b)), true) = (cmp, body_on_then) {
+                for iv in &mut cands {
+                    apply_test(iv, op, a, b, func, lp);
+                }
+            }
+        }
+    }
+    // Initial value bound: the IV's value at loop entry.
+    for iv in &mut cands {
+        let entry = SymExpr::sym(Sym::Entry(iv.local));
+        if iv.step > 0 {
+            iv.lo = Some(entry);
+        } else {
+            iv.hi = Some(entry);
+        }
+    }
+    cands.sort_by_key(|iv| iv.local);
+    cands
+}
+
+/// Does instruction `i` compute `x_old ± c` (possibly through one level of
+/// temporaries)? Returns the signed step.
+fn step_of(
+    i: &Instr,
+    x: LocalId,
+    defs: &std::collections::BTreeMap<LocalId, Vec<&Instr>>,
+    depth: u32,
+) -> Option<i64> {
+    if depth > 4 {
+        return None;
+    }
+    match i {
+        Instr::BinOp {
+            op: BinOp::Add,
+            a: Operand::Local(src),
+            b: Operand::Const(c),
+            ..
+        } if *src == x => Some(*c),
+        Instr::BinOp {
+            op: BinOp::Add,
+            a: Operand::Const(c),
+            b: Operand::Local(src),
+            ..
+        } if *src == x => Some(*c),
+        Instr::BinOp {
+            op: BinOp::Sub,
+            a: Operand::Local(src),
+            b: Operand::Const(c),
+            ..
+        } if *src == x => Some(-*c),
+        Instr::Copy {
+            src: Operand::Local(t),
+            ..
+        } => {
+            let t_defs = defs.get(t)?;
+            if t_defs.len() != 1 {
+                return None;
+            }
+            step_of(t_defs[0], x, defs, depth + 1)
+        }
+        _ => None,
+    }
+}
+
+/// Refine an IV's range from the header comparison `a op b` (loop continues
+/// while true).
+fn apply_test(iv: &mut IndVar, op: BinOp, a: Operand, b: Operand, func: &Function, lp: &Loop) {
+    // Normalize to `iv OP bound`.
+    let (op, bound) = match (a, b) {
+        (Operand::Local(l), other) if l == iv.local => (op, other),
+        (other, Operand::Local(l)) if l == iv.local => (flip(op), other),
+        _ => return,
+    };
+    // The bound must be loop-invariant.
+    let bound_expr = match bound {
+        Operand::Const(c) => SymExpr::konst(c),
+        Operand::Local(l) => {
+            if defined_in_loop(func, lp, l) {
+                return;
+            }
+            SymExpr::sym(Sym::Entry(l))
+        }
+    };
+    match (op, iv.step > 0) {
+        (BinOp::Lt, true) => iv.hi = Some(bound_expr.offset(-1)),
+        (BinOp::Le, true) => iv.hi = Some(bound_expr),
+        (BinOp::Gt, false) => iv.lo = Some(bound_expr.offset(1)),
+        (BinOp::Ge, false) => iv.lo = Some(bound_expr),
+        (BinOp::Ne, up) => {
+            // `i != n` with unit step behaves like < or > respectively.
+            if iv.step == 1 && up {
+                iv.hi = Some(bound_expr.offset(-1));
+            } else if iv.step == -1 && !up {
+                iv.lo = Some(bound_expr.offset(1));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// The destination register of a defining instruction.
+pub fn def_of(i: &Instr) -> Option<LocalId> {
+    match i {
+        Instr::Copy { dst, .. }
+        | Instr::UnOp { dst, .. }
+        | Instr::BinOp { dst, .. }
+        | Instr::AddrOfGlobal { dst, .. }
+        | Instr::AddrOfLocal { dst, .. }
+        | Instr::AddrOfFunc { dst, .. }
+        | Instr::PtrAdd { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::Malloc { dst, .. }
+        | Instr::SysInput { dst, .. } => Some(*dst),
+        Instr::Call { dst, .. } | Instr::Spawn { dst, .. } | Instr::SysRead { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+/// Is `l` (re)defined anywhere inside the loop?
+pub fn defined_in_loop(func: &Function, lp: &Loop, l: LocalId) -> bool {
+    lp.blocks.iter().any(|b| {
+        func.block(*b)
+            .instrs
+            .iter()
+            .any(|i| def_of(i) == Some(l))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::cfg::{Cfg, Dominators};
+    use chimera_minic::compile;
+    use chimera_minic::loops::LoopForest;
+
+    fn first_loop(src: &str) -> (chimera_minic::ir::Function, Loop) {
+        let p = compile(src).unwrap();
+        let f = p.func_by_name("main").unwrap().clone();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        let lp = forest.loops[0].clone();
+        (f, lp)
+    }
+
+    #[test]
+    fn simple_up_counter() {
+        let (f, lp) = first_loop(
+            "int main() { int i; int n; n = 10; int s;
+               for (i = 0; i < n; i = i + 1) { s = s + 1; } return s; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        // i is an IV with step 1; s is also x = x + 1 so it qualifies as a
+        // basic IV too (harmless: its bounds are just unused).
+        let i_name = f.locals.iter().position(|l| l.name == "i").unwrap();
+        let iv = ivs
+            .iter()
+            .find(|iv| iv.local == LocalId(i_name as u32))
+            .expect("i is an induction variable");
+        assert_eq!(iv.step, 1);
+        let hi = iv.hi.as_ref().expect("upper bound from i < n");
+        assert_eq!(hi.konst, -1);
+        assert!(hi.terms.keys().any(|s| matches!(s, Sym::Entry(_))));
+        let lo = iv.lo.as_ref().expect("lower bound is entry value");
+        assert!(lo.terms.contains_key(&Sym::Entry(iv.local)));
+    }
+
+    #[test]
+    fn down_counter() {
+        let (f, lp) = first_loop(
+            "int main() { int i; int s;
+               for (i = 10; i > 0; i = i - 1) { s = s + i; } return s; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        let i_name = f.locals.iter().position(|l| l.name == "i").unwrap();
+        let iv = ivs
+            .iter()
+            .find(|iv| iv.local == LocalId(i_name as u32))
+            .unwrap();
+        assert_eq!(iv.step, -1);
+        let lo = iv.lo.as_ref().expect("lower bound from i > 0");
+        assert!(lo.is_const());
+        assert_eq!(lo.konst, 1);
+    }
+
+    #[test]
+    fn constant_bound_le() {
+        let (f, lp) = first_loop(
+            "int main() { int i; int s; for (i = 0; i <= 7; i = i + 1) { s = s + 1; } return s; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        let i_name = f.locals.iter().position(|l| l.name == "i").unwrap();
+        let iv = ivs
+            .iter()
+            .find(|iv| iv.local == LocalId(i_name as u32))
+            .unwrap();
+        assert_eq!(iv.hi.as_ref().unwrap().konst, 7);
+    }
+
+    #[test]
+    fn non_unit_stride() {
+        let (f, lp) = first_loop(
+            "int main() { int i; int s; for (i = 0; i < 100; i = i + 4) { s = s + 1; } return s; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        let i_name = f.locals.iter().position(|l| l.name == "i").unwrap();
+        let iv = ivs
+            .iter()
+            .find(|iv| iv.local == LocalId(i_name as u32))
+            .unwrap();
+        assert_eq!(iv.step, 4);
+        assert_eq!(iv.hi.as_ref().unwrap().konst, 99);
+    }
+
+    #[test]
+    fn loop_varying_bound_gives_no_range() {
+        // Bound n changes inside the loop: no usable upper bound.
+        let (f, lp) = first_loop(
+            "int main() { int i; int n; n = 10;
+               for (i = 0; i < n; i = i + 1) { n = n - 1; } return n; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        let i_name = f.locals.iter().position(|l| l.name == "i").unwrap();
+        let iv = ivs
+            .iter()
+            .find(|iv| iv.local == LocalId(i_name as u32))
+            .unwrap();
+        assert!(iv.hi.is_none());
+    }
+
+    #[test]
+    fn irregularly_updated_var_is_not_an_iv() {
+        let (f, lp) = first_loop(
+            "int main() { int i; int x;
+               for (i = 0; i < 10; i = i + 1) { x = i * 2; } return x; }",
+        );
+        let ivs = find_induction_vars(&f, &lp);
+        let x_name = f.locals.iter().position(|l| l.name == "x").unwrap();
+        assert!(ivs.iter().all(|iv| iv.local != LocalId(x_name as u32)));
+    }
+}

@@ -1,0 +1,220 @@
+//! The `chimera` command-line tool: run the pipeline on MiniC files.
+//!
+//! ```text
+//! chimera races <file.mc>                      # static race report
+//! chimera plan <file.mc>                       # instrumentation plan
+//! chimera run <file.mc> [--seed N]             # execute (uninstrumented)
+//! chimera record <file.mc> -o <log> [--seed N] # instrument + record
+//! chimera replay <file.mc> <log> [--seed N]    # replay from a log file
+//! chimera ir <file.mc>                         # dump the IR
+//! ```
+//!
+//! `record` and `replay` must agree on the file and options so the
+//! instrumented programs match; the log's byte format is
+//! [`chimera_replay::ReplayLogs::to_bytes`].
+
+use chimera::{analyze, OptSet, PipelineConfig};
+use chimera_minic::compile;
+use chimera_runtime::{execute, ExecConfig, ThreadId};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("chimera: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+struct Cli {
+    command: String,
+    file: Option<String>,
+    extra: Option<String>,
+    out: Option<String>,
+    seed: u64,
+    naive: bool,
+    opt: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err("usage: chimera <races|plan|run|record|replay|ir> <file.mc> [...]".into());
+    }
+    let mut cli = Cli {
+        command: argv[0].clone(),
+        file: None,
+        extra: None,
+        out: None,
+        seed: 0,
+        naive: false,
+        opt: false,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                cli.seed = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+                i += 2;
+            }
+            "-o" | "--out" => {
+                cli.out = Some(argv.get(i + 1).cloned().ok_or("-o needs a path")?);
+                i += 2;
+            }
+            "--naive" => {
+                cli.naive = true;
+                i += 1;
+            }
+            "--opt" => {
+                cli.opt = true;
+                i += 1;
+            }
+            arg => {
+                if cli.file.is_none() {
+                    cli.file = Some(arg.to_string());
+                } else if cli.extra.is_none() {
+                    cli.extra = Some(arg.to_string());
+                } else {
+                    return Err(format!("unexpected argument '{arg}'"));
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let path = cli.file.clone().ok_or("missing <file.mc> argument")?;
+    let source =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut program = compile(&source).map_err(|e| format!("{path}: {e}"))?;
+    if cli.opt {
+        let n = chimera_minic::opt::optimize(&mut program);
+        eprintln!("optimizer: {n} instruction(s) simplified or removed");
+    }
+    let program = program;
+
+    let opts = if cli.naive {
+        OptSet::naive()
+    } else {
+        OptSet::all()
+    };
+    let exec = ExecConfig {
+        seed: cli.seed,
+        ..ExecConfig::default()
+    };
+
+    match cli.command.as_str() {
+        "races" => {
+            let report = chimera_relay::detect_races(&program);
+            print!("{}", report.describe(&program));
+            println!("{} race pair(s)", report.pairs.len());
+            Ok(())
+        }
+        "ir" => {
+            print!("{}", chimera_minic::pretty::program_to_string(&program));
+            Ok(())
+        }
+        "plan" => {
+            let analysis = analyze(
+                &program,
+                &PipelineConfig {
+                    opts,
+                    ..PipelineConfig::default()
+                },
+            );
+            let p = &analysis.plan;
+            println!("race pairs      : {}", analysis.races.pairs.len());
+            println!("weak-locks      : {}", p.n_weak_locks);
+            println!("cliques         : {}", p.stats.cliques);
+            println!(
+                "sites           : {} function, {} loop, {} bb, {} instruction",
+                p.func_locks.values().map(Vec::len).sum::<usize>(),
+                p.loop_locks.values().map(Vec::len).sum::<usize>(),
+                p.bb_locks.values().map(Vec::len).sum::<usize>(),
+                p.instr_locks.values().map(Vec::len).sum::<usize>(),
+            );
+            for (f, locks) in &p.func_locks {
+                println!(
+                    "  func-lock {:?} on {}",
+                    locks,
+                    analysis.program.funcs[f.index()].name
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let r = execute(&program, &exec);
+            report_exec(&r);
+            Ok(())
+        }
+        "record" => {
+            let out = cli.out.clone().ok_or("record needs -o <logfile>")?;
+            let analysis = analyze(
+                &program,
+                &PipelineConfig {
+                    opts,
+                    ..PipelineConfig::default()
+                },
+            );
+            let rec = chimera_replay::record(&analysis.instrumented, &exec);
+            report_exec(&rec.result);
+            let bytes = rec.logs.to_bytes();
+            std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+            let (ikb, okb) = rec.logs.compressed_sizes();
+            println!(
+                "wrote {out}: {} bytes raw (est. compressed: input {ikb} B + order {okb} B)",
+                bytes.len()
+            );
+            Ok(())
+        }
+        "replay" => {
+            let log_path = cli.extra.clone().ok_or("replay needs <logfile>")?;
+            let bytes = std::fs::read(&log_path)
+                .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+            let logs = chimera_replay::ReplayLogs::from_bytes(&bytes)
+                .map_err(|e| format!("{log_path}: {e}"))?;
+            let analysis = analyze(
+                &program,
+                &PipelineConfig {
+                    opts,
+                    ..PipelineConfig::default()
+                },
+            );
+            let rep = chimera_replay::replay(&analysis.instrumented, &logs, &exec);
+            report_exec(&rep.result);
+            if rep.complete {
+                println!("replay complete: every logged event consumed");
+                Ok(())
+            } else {
+                Err("replay diverged (did record/replay use the same file and options?)"
+                    .into())
+            }
+        }
+        other => Err(format!(
+            "unknown command '{other}' (races|plan|run|record|replay|ir)"
+        )),
+    }
+}
+
+fn report_exec(r: &chimera_runtime::ExecResult) {
+    println!("outcome : {:?}", r.outcome);
+    println!("cycles  : {}", r.makespan);
+    let main_out = r.output_of(ThreadId(0));
+    if !main_out.is_empty() {
+        println!("output  : {main_out:?}");
+    }
+    for t in 1..r.stats.threads {
+        let o = r.output_of(ThreadId(t as u32));
+        if !o.is_empty() {
+            println!("output T{t}: {o:?}");
+        }
+    }
+}

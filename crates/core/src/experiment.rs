@@ -1,0 +1,403 @@
+//! The evaluation harness: everything needed to regenerate the paper's
+//! Table 1, Table 2, and Figures 5–8 on the MiniC workloads.
+
+use crate::pipeline::{analyze_with_profile, measure_trials, Analysis, PipelineConfig};
+use chimera_instrument::OptSet;
+use chimera_minic::ir::LockGranularity;
+use chimera_profile::{profile_runs, ProfileData};
+use chimera_runtime::ExecConfig;
+use chimera_workloads::Workload;
+use std::collections::BTreeMap;
+
+/// The paper's four optimization configurations, labeled as in Figure 5.
+pub fn figure5_configs() -> Vec<(&'static str, OptSet)> {
+    vec![
+        ("instr", OptSet::naive()),
+        ("inst+func", OptSet::func_only()),
+        ("inst+loop", OptSet::loop_only()),
+        ("inst+bb+loop+func", OptSet::all()),
+    ]
+}
+
+/// Profile a workload the way the paper does (§7.1): several runs over
+/// *profile-environment* inputs that differ from the evaluation input,
+/// merged into one [`ProfileData`].
+pub fn profile_workload(w: &Workload, runs: u32, exec: &ExecConfig) -> ProfileData {
+    let mut merged = ProfileData::default();
+    for v in 0..runs {
+        let params = w.profile_params(v);
+        let program = w
+            .compile(&params)
+            .expect("workload templates are valid for profile params");
+        merged.merge(&profile_runs(
+            &program,
+            exec,
+            &[1000 + v as u64 * 31, 2000 + v as u64 * 17],
+        ));
+    }
+    merged
+}
+
+/// Analyze one workload at its evaluation input.
+pub fn analyze_workload(
+    w: &Workload,
+    workers: u32,
+    opts: &OptSet,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> Analysis {
+    let profile = profile_workload(w, profile_runs_count, exec);
+    let program = w
+        .compile(&w.eval_params(workers))
+        .expect("workload templates are valid for eval params");
+    let cfg = PipelineConfig {
+        opts: opts.clone(),
+        profile_seeds: Vec::new(),
+        exec: exec.clone(),
+    };
+    analyze_with_profile(&program, profile, &cfg)
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct Table2Row {
+    /// Workload name.
+    pub name: String,
+    /// DRF log: recorded system-call/input events.
+    pub syscall_logs: u64,
+    /// DRF log: program synchronization order entries.
+    pub sync_logs: u64,
+    /// Weak-lock log entries at instruction granularity.
+    pub instr_logs: u64,
+    /// Weak-lock log entries at basic-block granularity.
+    pub bb_logs: u64,
+    /// Weak-lock log entries at loop granularity.
+    pub loop_logs: u64,
+    /// Weak-lock log entries at function granularity.
+    pub func_logs: u64,
+    /// Baseline (uninstrumented) virtual runtime.
+    pub original_time: u64,
+    /// Recording virtual runtime.
+    pub record_time: u64,
+    /// Mean recording overhead (x).
+    pub record_overhead: f64,
+    /// Mean replay overhead (x).
+    pub replay_overhead: f64,
+    /// Estimated compressed input-log size in bytes.
+    pub input_log_bytes: usize,
+    /// Estimated compressed order-log size in bytes.
+    pub order_log_bytes: usize,
+    /// Every trial replayed deterministically.
+    pub deterministic: bool,
+}
+
+/// Evaluate one workload into a Table 2 row (all optimizations on).
+pub fn table2_row(
+    w: &Workload,
+    workers: u32,
+    trials: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> Table2Row {
+    let analysis = analyze_workload(w, workers, &OptSet::all(), profile_runs_count, exec);
+    let summary = measure_trials(&analysis, exec, trials);
+    let m = summary.last.as_ref().expect("trials >= 1");
+    let logs = &m.recording.logs;
+    let (input_log_bytes, order_log_bytes) = logs.compressed_sizes();
+    Table2Row {
+        name: w.name.to_string(),
+        syscall_logs: logs.input_log_entries,
+        sync_logs: logs.sync_log_entries,
+        instr_logs: logs.weak_entries(LockGranularity::Instruction),
+        bb_logs: logs.weak_entries(LockGranularity::BasicBlock),
+        loop_logs: logs.weak_entries(LockGranularity::Loop),
+        func_logs: logs.weak_entries(LockGranularity::Function),
+        original_time: m.baseline.makespan,
+        record_time: m.recording.result.makespan,
+        record_overhead: summary.record_overhead,
+        replay_overhead: summary.replay_overhead,
+        input_log_bytes,
+        order_log_bytes,
+        deterministic: summary.all_deterministic,
+    }
+}
+
+/// Figure 5: recording overhead per optimization configuration.
+pub fn fig5_overheads(
+    w: &Workload,
+    workers: u32,
+    trials: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> BTreeMap<&'static str, f64> {
+    figure5_configs()
+        .into_iter()
+        .map(|(label, opts)| {
+            let a = analyze_workload(w, workers, &opts, profile_runs_count, exec);
+            let s = measure_trials(&a, exec, trials);
+            (label, s.record_overhead)
+        })
+        .collect()
+}
+
+/// Figure 6: dynamic weak-lock operations as a fraction of dynamic memory
+/// operations, per optimization configuration.
+pub fn fig6_fractions(
+    w: &Workload,
+    workers: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> BTreeMap<&'static str, f64> {
+    figure5_configs()
+        .into_iter()
+        .map(|(label, opts)| {
+            let a = analyze_workload(w, workers, &opts, profile_runs_count, exec);
+            let s = measure_trials(&a, exec, 1);
+            let stats = &s.last.as_ref().expect("one trial").recording.result.stats;
+            (label, stats.weak_op_fraction())
+        })
+        .collect()
+}
+
+/// Figure 7 breakdown for one workload: per-granularity logging cycles and
+/// contention cycles. Contention is measured the paper's way: the
+/// difference between a recording with real weak-lock semantics and one
+/// where every acquire succeeds immediately.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    /// Logging cycles charged per granularity.
+    pub log_cycles: BTreeMap<LockGranularity, u64>,
+    /// Contention (blocked) cycles per granularity.
+    pub wait_cycles: BTreeMap<LockGranularity, u64>,
+    /// Total makespan with real semantics.
+    pub makespan: u64,
+    /// Makespan with always-succeeding acquires.
+    pub makespan_no_contention: u64,
+}
+
+/// Measure the Figure 7 breakdown.
+pub fn fig7_breakdown(
+    w: &Workload,
+    workers: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> Breakdown {
+    let a = analyze_workload(w, workers, &OptSet::all(), profile_runs_count, exec);
+    let seed = 100;
+    let real = chimera_replay::record(
+        &a.instrumented,
+        &ExecConfig {
+            seed,
+            ..exec.clone()
+        },
+    );
+    let free = chimera_replay::record(
+        &a.instrumented,
+        &ExecConfig {
+            seed,
+            weak_always_succeed: true,
+            ..exec.clone()
+        },
+    );
+    Breakdown {
+        log_cycles: real.result.stats.weak_log_cycles.clone(),
+        wait_cycles: real.result.stats.weak_wait.clone(),
+        makespan: real.result.makespan,
+        makespan_no_contention: free.result.makespan,
+    }
+}
+
+/// Figure 8: overhead at 2, 4, and 8 worker threads.
+pub fn fig8_scalability(
+    w: &Workload,
+    trials: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> Vec<(u32, f64)> {
+    [2u32, 4, 8]
+        .into_iter()
+        .map(|workers| {
+            let a = analyze_workload(w, workers, &OptSet::all(), profile_runs_count, exec);
+            let s = measure_trials(&a, exec, trials);
+            (workers, s.record_overhead)
+        })
+        .collect()
+}
+
+/// One row of the ablation study (DESIGN.md §5): Chimera vs the
+/// LEAP-style baseline, and the race-report sizes under the two points-to
+/// configurations.
+#[derive(Debug, Clone, Default)]
+pub struct AblationRow {
+    /// Workload name.
+    pub name: String,
+    /// Race pairs with the paper's Steensgaard aliasing.
+    pub races_steensgaard: usize,
+    /// Race pairs with inclusion-based (Andersen) aliasing.
+    pub races_andersen: usize,
+    /// Chimera recording overhead (all optimizations).
+    pub chimera_overhead: f64,
+    /// LEAP-style baseline recording overhead (every shared access,
+    /// instruction granularity, no race detection).
+    pub leap_overhead: f64,
+    /// Dynamic weak-lock acquisitions under Chimera.
+    pub chimera_ops: u64,
+    /// Dynamic weak-lock acquisitions under the LEAP baseline.
+    pub leap_ops: u64,
+}
+
+/// Run the ablation comparisons for one workload.
+pub fn ablation_row(
+    w: &Workload,
+    workers: u32,
+    profile_runs_count: u32,
+    exec: &ExecConfig,
+) -> AblationRow {
+    let program = w
+        .compile(&w.eval_params(workers))
+        .expect("workload templates are valid");
+    let races_s = chimera_relay::detect_races(&program);
+    let races_a = chimera_relay::detect_races_with_andersen(&program);
+
+    let analysis = analyze_workload(w, workers, &OptSet::all(), profile_runs_count, exec);
+    let chimera = crate::pipeline::measure(&analysis, exec, 100);
+
+    let leap_plan = chimera_instrument::plan_leap_baseline(&program);
+    let leap_prog = chimera_instrument::apply(&program, &leap_plan);
+    let base = chimera_runtime::execute(
+        &program,
+        &ExecConfig {
+            seed: 100,
+            ..exec.clone()
+        },
+    );
+    let leap_rec = chimera_replay::record(
+        &leap_prog,
+        &ExecConfig {
+            seed: 100,
+            ..exec.clone()
+        },
+    );
+    let leap_overhead = if base.makespan == 0 {
+        0.0
+    } else {
+        leap_rec.result.makespan as f64 / base.makespan as f64
+    };
+    AblationRow {
+        name: w.name.to_string(),
+        races_steensgaard: races_s.pairs.len(),
+        races_andersen: races_a.pairs.len(),
+        chimera_overhead: chimera.record_overhead,
+        leap_overhead,
+        chimera_ops: chimera.recording.result.stats.total_weak_acquires(),
+        leap_ops: leap_rec.result.stats.total_weak_acquires(),
+    }
+}
+
+/// §5.3's loop-body-threshold sensitivity: recording overhead as the
+/// threshold sweeps (the knob that trades per-iteration lock operations
+/// against loop serialization).
+pub fn threshold_sweep(
+    w: &Workload,
+    workers: u32,
+    thresholds: &[f64],
+    exec: &ExecConfig,
+) -> Vec<(f64, f64)> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let opts = OptSet {
+                loop_body_threshold: t,
+                ..OptSet::all()
+            };
+            let a = analyze_workload(w, workers, &opts, 4, exec);
+            let s = measure_trials(&a, exec, 2);
+            (t, s.record_overhead)
+        })
+        .collect()
+}
+
+/// §7.3's profile-sensitivity study: concurrent-pair count as a function
+/// of the number of profile runs (saturates after a handful).
+pub fn profile_sensitivity(
+    w: &Workload,
+    max_runs: u32,
+    exec: &ExecConfig,
+) -> Vec<(u32, usize)> {
+    let mut merged = ProfileData::default();
+    let mut out = Vec::new();
+    for v in 0..max_runs {
+        let params = w.profile_params(v);
+        let program = w.compile(&params).expect("valid profile params");
+        merged.merge(&profile_runs(&program, exec, &[5000 + v as u64 * 13]));
+        out.push((v + 1, merged.concurrent.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_workloads::by_name;
+
+    fn fast_exec() -> ExecConfig {
+        ExecConfig::default()
+    }
+
+    #[test]
+    fn table2_row_for_radix_is_sane() {
+        let w = by_name("radix").unwrap();
+        let row = table2_row(&w, 2, 1, 2, &fast_exec());
+        assert!(row.deterministic, "radix must replay deterministically");
+        assert!(row.record_overhead >= 1.0);
+        assert!(row.loop_logs > 0, "radix is the loop-lock showcase: {row:?}");
+        assert!(row.syscall_logs >= 1);
+    }
+
+    #[test]
+    fn fig5_ordering_naive_worst_for_apache() {
+        let w = by_name("apache").unwrap();
+        let o = fig5_overheads(&w, 2, 1, 2, &fast_exec());
+        assert!(
+            o["instr"] >= o["inst+bb+loop+func"],
+            "naive {} vs all {}",
+            o["instr"],
+            o["inst+bb+loop+func"]
+        );
+    }
+
+    #[test]
+    fn fig6_fraction_drops_with_optimizations() {
+        let w = by_name("radix").unwrap();
+        let f = fig6_fractions(&w, 2, 2, &fast_exec());
+        assert!(f["instr"] > f["inst+bb+loop+func"]);
+        assert!(f["instr"] > 0.0);
+    }
+
+    #[test]
+    fn fig7_breakdown_measures_contention() {
+        let w = by_name("fft").unwrap();
+        let b = fig7_breakdown(&w, 2, 2, &fast_exec());
+        assert!(b.makespan >= b.makespan_no_contention);
+    }
+
+    #[test]
+    fn ablation_row_shows_chimera_beating_leap_on_ops() {
+        let w = by_name("radix").unwrap();
+        let row = ablation_row(&w, 2, 2, &fast_exec());
+        assert!(
+            row.leap_ops > row.chimera_ops,
+            "LEAP instruments more: {row:?}"
+        );
+        assert!(row.races_andersen <= row.races_steensgaard);
+    }
+
+    #[test]
+    fn profile_sensitivity_is_monotone() {
+        let w = by_name("pfscan").unwrap();
+        let pts = profile_sensitivity(&w, 4, &fast_exec());
+        for win in pts.windows(2) {
+            assert!(win[1].1 >= win[0].1, "pair count must be monotone: {pts:?}");
+        }
+    }
+}

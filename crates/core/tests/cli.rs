@@ -1,0 +1,140 @@
+//! Integration tests for the `chimera` command-line binary: the full
+//! file-based record → log file → replay workflow.
+
+use std::process::Command;
+
+const RACY: &str = "int g;
+void w(int v) {
+    int i; int x;
+    for (i = 0; i < 40; i = i + 1) { x = g; g = x + v; }
+}
+int main() {
+    int t;
+    t = spawn(w, 1);
+    w(2);
+    join(t);
+    print(g);
+    return 0;
+}
+";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chimera"))
+}
+
+fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
+    let src = dir.join("demo.mc");
+    std::fs::write(&src, RACY).expect("write source");
+    src
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("chimera-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mk tempdir");
+    d
+}
+
+#[test]
+fn races_subcommand_reports_pairs() {
+    let dir = tempdir("races");
+    let src = write_demo(&dir);
+    let out = bin().arg("races").arg(&src).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("race pair(s)"), "{stdout}");
+    assert!(stdout.contains("'g'"), "{stdout}");
+}
+
+#[test]
+fn record_then_replay_round_trips_through_the_log_file() {
+    let dir = tempdir("roundtrip");
+    let src = write_demo(&dir);
+    let log = dir.join("run.chimlog");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src)
+        .args(["-o"])
+        .arg(&log)
+        .args(["--seed", "5"])
+        .output()
+        .expect("spawn record");
+    assert!(rec.status.success(), "{rec:?}");
+    assert!(log.exists());
+    let rec_out = String::from_utf8_lossy(&rec.stdout);
+    let recorded_value = rec_out
+        .lines()
+        .find(|l| l.starts_with("output"))
+        .expect("record printed output")
+        .to_string();
+
+    let rep = bin()
+        .args(["replay"])
+        .arg(&src)
+        .arg(&log)
+        .args(["--seed", "9876"])
+        .output()
+        .expect("spawn replay");
+    assert!(rep.status.success(), "{rep:?}");
+    let rep_out = String::from_utf8_lossy(&rep.stdout);
+    assert!(rep_out.contains("replay complete"), "{rep_out}");
+    assert!(
+        rep_out.contains(recorded_value.as_str()),
+        "replayed output must match recording:\nrecord: {rec_out}\nreplay: {rep_out}"
+    );
+}
+
+#[test]
+fn replay_with_wrong_program_fails_cleanly() {
+    let dir = tempdir("mismatch");
+    let src = write_demo(&dir);
+    let log = dir.join("run.chimlog");
+    assert!(bin()
+        .args(["record"])
+        .arg(&src)
+        .args(["-o"])
+        .arg(&log)
+        .output()
+        .expect("record")
+        .status
+        .success());
+    // A different program: the log cannot drive it to completion.
+    let other = dir.join("other.mc");
+    std::fs::write(
+        &other,
+        "int g;
+         void w(int v) { int i; for (i = 0; i < 9; i = i + 1) { g = g + v; } }
+         int main() { int t; t = spawn(w, 1); t = spawn(w, 2); w(3); return g; }",
+    )
+    .unwrap();
+    let rep = bin()
+        .args(["replay"])
+        .arg(&other)
+        .arg(&log)
+        .output()
+        .expect("replay");
+    assert!(
+        !rep.status.success(),
+        "mismatched replay must exit non-zero: {rep:?}"
+    );
+}
+
+#[test]
+fn unknown_command_and_missing_file_fail() {
+    let out = bin().arg("frobnicate").arg("x.mc").output().expect("spawn");
+    assert!(!out.status.success());
+    let out = bin().arg("races").arg("/nonexistent.mc").output().expect("spawn");
+    assert!(!out.status.success());
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("cannot read"), "{msg}");
+}
+
+#[test]
+fn plan_subcommand_summarizes_instrumentation() {
+    let dir = tempdir("plan");
+    let src = write_demo(&dir);
+    let out = bin().arg("plan").arg(&src).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("weak-locks"), "{stdout}");
+    assert!(stdout.contains("sites"), "{stdout}");
+}

@@ -1,0 +1,185 @@
+//! A LEAP-style baseline recorder plan (paper §8, Related Work).
+//!
+//! LEAP (Huang et al.) improves on naive order recording by instrumenting
+//! only accesses to *shared* variables found by a static escape analysis —
+//! but, unlike Chimera, it has no race detection and no granularity
+//! coarsening: every access to every mutable shared object is logged at
+//! instruction granularity. The paper reports LEAP slowing programs by
+//! more than 2x on average and 6x in the worst case; Chimera's whole point
+//! is doing better by instrumenting *only the racy* accesses and
+//! coarsening them.
+//!
+//! This module builds the equivalent [`Plan`] so the bench harness can
+//! compare the two approaches on the same workloads.
+
+use crate::plan::Plan;
+use chimera_minic::ir::{AccessId, Program};
+use chimera_pta::{AbsObj, ObjId, ObjectTable, Steensgaard};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Build a LEAP-style plan: every access that may touch a mutable shared
+/// object gets an instruction-granularity lock keyed by that object.
+///
+/// "Shared" means: a non-sync global, a heap object, or a slot local
+/// accessed outside its owning function (escape). "Mutable" means written
+/// by at least one access (LEAP skips variables that are immutable after
+/// initialization).
+pub fn plan_leap_baseline(program: &Program) -> Plan {
+    let objects = ObjectTable::build(program);
+    let mut steens = Steensgaard::analyze(program, &objects);
+    let _ = &mut steens;
+
+    // Escape analysis for slot locals and written-object collection.
+    let mut escaped: BTreeSet<ObjId> = BTreeSet::new();
+    let mut written: BTreeSet<ObjId> = BTreeSet::new();
+    let mut access_objs: Vec<BTreeSet<ObjId>> = Vec::with_capacity(program.accesses.len());
+    for (aid, info) in program.accesses.iter().enumerate() {
+        let objs = steens.objects_of_access(AccessId(aid as u32)).clone();
+        for o in &objs {
+            if info.is_write {
+                written.insert(*o);
+            }
+            if let AbsObj::LocalSlot(f, _) = objects.get(*o) {
+                if f != info.func {
+                    escaped.insert(*o);
+                }
+            }
+        }
+        access_objs.push(objs);
+    }
+
+    let shared_mutable = |o: ObjId| -> bool {
+        if !written.contains(&o) {
+            return false; // immutable after initialization
+        }
+        match objects.get(o) {
+            AbsObj::Global(g) => !program.globals[g.index()].is_sync,
+            AbsObj::Alloc(_) => true,
+            AbsObj::LocalSlot(_, _) => escaped.contains(&o),
+            AbsObj::Func(_) => false,
+        }
+    };
+
+    let mut plan = Plan::default();
+    let mut obj_lock: BTreeMap<ObjId, chimera_minic::ir::WeakLockId> = BTreeMap::new();
+    let mut next = 0u32;
+    for (aid, objs) in access_objs.iter().enumerate() {
+        let locks: Vec<_> = objs
+            .iter()
+            .copied()
+            .filter(|o| shared_mutable(*o))
+            .map(|o| {
+                *obj_lock.entry(o).or_insert_with(|| {
+                    let id = chimera_minic::ir::WeakLockId(next);
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        if !locks.is_empty() {
+            plan.instr_locks.insert(AccessId(aid as u32), locks);
+            plan.stats.sides_instr += 1;
+        }
+    }
+    plan.n_weak_locks = next;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::apply;
+    use chimera_minic::compile;
+    use chimera_runtime::{execute, ExecConfig};
+
+    #[test]
+    fn leap_instruments_shared_accesses_even_when_race_free() {
+        // Lock-protected counter: Chimera instruments nothing (no races);
+        // LEAP still instruments every access to the shared counter.
+        let p = compile(
+            "int counter; lock_t m;
+             void w(int n) { lock(&m); counter = counter + n; unlock(&m); }
+             int main() { int t; t = spawn(w, 1); w(2); join(t);
+                          lock(&m); print(counter); unlock(&m); return 0; }",
+        )
+        .unwrap();
+        let chimera_races = chimera_relay::detect_races(&p);
+        assert!(chimera_races.pairs.is_empty());
+        let leap = plan_leap_baseline(&p);
+        assert!(
+            leap.instr_locks.len() >= 3,
+            "LEAP must cover the counter accesses: {leap:?}"
+        );
+    }
+
+    #[test]
+    fn leap_skips_immutable_and_private_data() {
+        let p = compile(
+            "int table[8];
+             int reader(int i) { return table[i & 7]; }
+             int main() { int t; int x; int priv;
+                 priv = 3; x = priv;
+                 t = spawn(reader, 1); join(t); return reader(2) + x; }",
+        )
+        .unwrap();
+        let leap = plan_leap_baseline(&p);
+        // table is never written; priv is a register: nothing to instrument.
+        assert!(leap.instr_locks.is_empty(), "{leap:?}");
+    }
+
+    #[test]
+    fn leap_instrumented_program_still_runs_and_replays() {
+        let p = compile(
+            "int g;
+             void w(int v) { int i; int x;
+                 for (i = 0; i < 60; i = i + 1) { x = g; g = x + v; } }
+             int main() { int t; t = spawn(w, 1); w(2); join(t); print(g); return 0; }",
+        )
+        .unwrap();
+        let leap = plan_leap_baseline(&p);
+        let ip = apply(&p, &leap);
+        let r = execute(&ip, &ExecConfig::default());
+        assert!(r.outcome.is_exit());
+        let rec = chimera_replay::record(&ip, &ExecConfig { seed: 4, ..ExecConfig::default() });
+        let rep = chimera_replay::replay(
+            &ip,
+            &rec.logs,
+            &ExecConfig { seed: 99, ..ExecConfig::default() },
+        );
+        assert!(
+            rep.complete
+                && chimera_replay::verify_determinism(&rec.result, &rep.result).equivalent,
+            "LEAP-style full instrumentation must also replay deterministically"
+        );
+    }
+
+    #[test]
+    fn leap_costs_more_ops_than_chimera_on_a_locked_program() {
+        // A mostly lock-protected workload where Chimera's race detection
+        // pays off directly.
+        let p = compile(
+            "int hist[16]; lock_t m;
+             void w(int v) { int i; for (i = 0; i < 40; i = i + 1) {
+                 lock(&m); hist[i & 15] = hist[i & 15] + v; unlock(&m); } }
+             int main() { int t; int i; int s;
+                 t = spawn(w, 1); w(2); join(t);
+                 lock(&m); s = 0;
+                 for (i = 0; i < 16; i = i + 1) { s = s + hist[i]; }
+                 unlock(&m); print(s); return 0; }",
+        )
+        .unwrap();
+        let races = chimera_relay::detect_races(&p);
+        assert!(races.pairs.is_empty(), "{}", races.describe(&p));
+        let leap = apply(&p, &plan_leap_baseline(&p));
+        let exec = ExecConfig::default();
+        let chimera_run = chimera_replay::record(&p, &exec); // nothing to instrument
+        let leap_run = chimera_replay::record(&leap, &exec);
+        assert!(
+            leap_run.result.stats.total_weak_acquires()
+                > 50 + chimera_run.result.stats.total_weak_acquires(),
+            "LEAP ops {} vs Chimera ops {}",
+            leap_run.result.stats.total_weak_acquires(),
+            chimera_run.result.stats.total_weak_acquires()
+        );
+    }
+}

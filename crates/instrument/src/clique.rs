@@ -1,0 +1,167 @@
+//! Clique analysis over the non-concurrency graph (paper §4.2).
+//!
+//! Racy function pairs found non-concurrent by profiling can share one
+//! function-granularity weak-lock as long as all functions involved are
+//! *mutually* non-concurrent — i.e., they form a clique in the graph whose
+//! edges are "never observed concurrent". Sharing reduces the number of
+//! weak-lock operations: in the paper's Figure 3, `alice` racing with both
+//! `bob` and `carol` acquires one clique lock instead of two pairwise
+//! locks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A clique of mutually non-concurrent functions (node indices are caller
+/// defined — the planner uses `FuncId` raw values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clique {
+    /// Members.
+    pub nodes: BTreeSet<u32>,
+    /// How many racy pairs this clique covers (both endpoints inside).
+    pub covered_pairs: usize,
+}
+
+/// Result of the clique assignment.
+#[derive(Debug, Clone, Default)]
+pub struct CliqueAssignment {
+    /// The cliques, indexed by clique id.
+    pub cliques: Vec<Clique>,
+    /// For every input racy pair: the clique id protecting it.
+    pub pair_clique: BTreeMap<(u32, u32), usize>,
+}
+
+/// Given racy pairs (normalized `a <= b`; self-pairs allowed) and the
+/// non-concurrency relation, build greedy maximal cliques and assign each
+/// pair to the candidate clique covering the most pairs (the paper's
+/// tie-break for pairs in two cliques).
+///
+/// Every pair must satisfy `non_concurrent(a, b)`; the caller filters.
+pub fn assign_cliques(
+    pairs: &BTreeSet<(u32, u32)>,
+    mut non_concurrent: impl FnMut(u32, u32) -> bool,
+) -> CliqueAssignment {
+    let nodes: BTreeSet<u32> = pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
+    let mut cliques: Vec<Clique> = Vec::new();
+
+    // Greedy maximal cliques seeded from each uncovered pair.
+    let mut covered: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for &(a, b) in pairs {
+        if covered.contains(&(a, b)) {
+            continue;
+        }
+        let mut clique: BTreeSet<u32> = BTreeSet::new();
+        clique.insert(a);
+        clique.insert(b);
+        // Extend greedily by node id order.
+        for &n in &nodes {
+            if clique.contains(&n) {
+                continue;
+            }
+            if clique.iter().all(|&m| non_concurrent(n, m)) {
+                clique.insert(n);
+            }
+        }
+        // Mark pairs covered by the new clique.
+        for &(x, y) in pairs {
+            if clique.contains(&x) && clique.contains(&y) {
+                covered.insert((x, y));
+            }
+        }
+        cliques.push(Clique {
+            nodes: clique,
+            covered_pairs: 0,
+        });
+    }
+    // Count coverage.
+    for c in &mut cliques {
+        c.covered_pairs = pairs
+            .iter()
+            .filter(|(x, y)| c.nodes.contains(x) && c.nodes.contains(y))
+            .count();
+    }
+    // Assign each pair to its best candidate clique.
+    let mut pair_clique = BTreeMap::new();
+    for &(a, b) in pairs {
+        let best = cliques
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.nodes.contains(&a) && c.nodes.contains(&b))
+            .max_by_key(|(_, c)| c.covered_pairs)
+            .map(|(i, _)| i)
+            .expect("every pair seeds or joins a clique");
+        pair_clique.insert((a, b), best);
+    }
+    CliqueAssignment {
+        cliques,
+        pair_clique,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+        v.iter()
+            .map(|(a, b)| (*a.min(b), *a.max(b)))
+            .collect()
+    }
+
+    #[test]
+    fn paper_figure_3_shares_one_lock() {
+        // alice=0, bob=1, carol=2: alice races with bob and carol; all
+        // three mutually non-concurrent -> one clique, one lock for both
+        // pairs (Fig. 3b).
+        let ps = pairs(&[(0, 1), (0, 2)]);
+        let nc = |a: u32, b: u32| {
+            let set: BTreeSet<u32> = [a, b].into_iter().collect();
+            // all of {0,1,2} mutually non-concurrent
+            set.iter().all(|x| *x <= 2)
+        };
+        let asg = assign_cliques(&ps, nc);
+        assert_eq!(asg.pair_clique[&(0, 1)], asg.pair_clique[&(0, 2)]);
+    }
+
+    #[test]
+    fn paper_foo_bar_qux_needs_two_locks() {
+        // §7.3's pathology: foo=0 races bar=1 and qux=2; foo is
+        // non-concurrent with both, but bar and qux ARE concurrent ->
+        // two cliques -> foo must take two locks.
+        let ps = pairs(&[(0, 1), (0, 2)]);
+        let nc = |a: u32, b: u32| !((a == 1 && b == 2) || (a == 2 && b == 1));
+        let asg = assign_cliques(&ps, nc);
+        assert_ne!(asg.pair_clique[&(0, 1)], asg.pair_clique[&(0, 2)]);
+        assert_eq!(asg.cliques.len(), 2);
+    }
+
+    #[test]
+    fn pair_in_two_cliques_takes_bigger_coverage() {
+        // carol=2 in cliques {0,1,2} and {2,3} (Fig. 3c): pair (2,3)
+        // belongs only to the small clique, but pair (1,2) should pick the
+        // big clique which covers more pairs.
+        let ps = pairs(&[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let nc = |a: u32, b: u32| {
+            // 3 is concurrent with 0 and 1; everything else non-concurrent.
+            !((a == 3 && b <= 1) || (b == 3 && a <= 1))
+        };
+        let asg = assign_cliques(&ps, nc);
+        let big = asg.pair_clique[&(0, 1)];
+        assert_eq!(asg.pair_clique[&(1, 2)], big);
+        assert_ne!(asg.pair_clique[&(2, 3)], big);
+    }
+
+    #[test]
+    fn self_pair_forms_singleton_clique() {
+        let ps = pairs(&[(5, 5)]);
+        let asg = assign_cliques(&ps, |_, _| true);
+        assert_eq!(asg.cliques.len(), 1);
+        assert!(asg.cliques[0].nodes.contains(&5));
+        assert_eq!(asg.pair_clique[&(5, 5)], 0);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let asg = assign_cliques(&BTreeSet::new(), |_, _| true);
+        assert!(asg.cliques.is_empty());
+        assert!(asg.pair_clique.is_empty());
+    }
+}

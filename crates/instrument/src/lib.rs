@@ -1,0 +1,66 @@
+//! The Chimera instrumenter: turns a racy program into a
+//! data-race-free-under-weak-locks program (paper §2).
+//!
+//! Pipeline position: after the static race detector (`chimera-relay`),
+//! the profiler (`chimera-profile`), and the symbolic bounds analysis
+//! (`chimera-bounds`), this crate
+//!
+//! 1. **plans** a weak-lock for every race pair ([`plan()`]): clique-shared
+//!    function-locks for profiled-non-concurrent pairs (§4), loop-locks
+//!    with runtime-evaluated symbolic address ranges (§5), basic-block
+//!    locks, and instruction locks as the fallback; and
+//! 2. **rewrites** the IR ([`apply()`]): weak-lock acquires/releases are
+//!    inserted at function entry/exit, loop preheaders/exits, block
+//!    boundaries, or around single instructions, with the deadlock-freedom
+//!    discipline of §2.3 (function- before loop- before block-level;
+//!    function-locks released around calls).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chimera_instrument::{instrument, OptSet};
+//! use chimera_minic::compile;
+//! use chimera_profile::profile_runs;
+//! use chimera_relay::detect_races;
+//! use chimera_runtime::ExecConfig;
+//!
+//! let p = compile(
+//!     "int g;
+//!      void w(int v) { g = g + v; }
+//!      int main() { int t; t = spawn(w, 1); w(2); join(t); return g; }",
+//! )
+//! .unwrap();
+//! let races = detect_races(&p);
+//! let profile = profile_runs(&p, &ExecConfig::default(), &[1, 2, 3]);
+//! let (instrumented, plan) = instrument(&p, &races, &profile, &OptSet::all());
+//! assert!(plan.n_weak_locks > 0);
+//! assert!(instrumented.weak_locks > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod clique;
+pub mod plan;
+pub mod rewrite;
+
+pub use baseline::plan_leap_baseline;
+pub use clique::{assign_cliques, Clique, CliqueAssignment};
+pub use plan::{plan, plan_site_counts, LoopLockSpec, OptSet, Plan, PlanStats};
+pub use rewrite::apply;
+
+use chimera_minic::ir::Program;
+use chimera_profile::ProfileData;
+use chimera_relay::RaceReport;
+
+/// Plan and apply in one step.
+pub fn instrument(
+    program: &Program,
+    races: &RaceReport,
+    profile: &ProfileData,
+    opts: &OptSet,
+) -> (Program, Plan) {
+    let p = plan(program, races, profile, opts);
+    let instrumented = apply(program, &p);
+    (instrumented, p)
+}

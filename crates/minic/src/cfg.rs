@@ -1,0 +1,222 @@
+//! Control-flow-graph utilities: predecessors, reverse postorder, and
+//! dominators (Cooper–Harvey–Kennedy).
+
+use crate::ir::{BlockId, Function};
+
+/// Predecessor/successor structure plus traversal orders for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks
+    /// excluded).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] = position of b in rpo`, or `usize::MAX` if unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG structure for `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        // Postorder DFS from entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let next = succs[b.index()][*i];
+                *i += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("reachable block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("reachable block has idom");
+        }
+    }
+    a
+}
+
+/// Immediate-dominator tree.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself.
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm over reverse postorder.
+    pub fn new(func: &Function, cfg: &Cfg) -> Dominators {
+        let n = func.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.index()] = Some(func.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                if b == func.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn main_fn(src: &str) -> crate::ir::Function {
+        let p = compile(src).unwrap();
+        p.func_by_name("main").unwrap().clone()
+    }
+
+    #[test]
+    fn straight_line_cfg() {
+        let f = main_fn("int main() { int x; x = 1; return x; }");
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], f.entry);
+        assert!(cfg.is_reachable(f.entry));
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let f = main_fn("int main() { int x; if (x) { x = 1; } else { x = 2; } return x; }");
+        let cfg = Cfg::new(&f);
+        // Entry has two successors; the join block has two predecessors.
+        let entry_succs = &cfg.succs[f.entry.index()];
+        assert_eq!(entry_succs.len(), 2);
+        let join = cfg
+            .preds
+            .iter()
+            .position(|p| p.len() == 2)
+            .expect("join block exists");
+        assert!(cfg.is_reachable(crate::ir::BlockId(join as u32)));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = main_fn("int main() { int x; if (x) { x = 1; } else { x = 2; } return x; }");
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        // Entry dominates everything reachable.
+        for &b in &cfg.rpo {
+            assert!(dom.dominates(f.entry, b));
+        }
+        // Neither arm dominates the join.
+        let join = crate::ir::BlockId(
+            cfg.preds.iter().position(|p| p.len() == 2).unwrap() as u32,
+        );
+        let arms: Vec<_> = cfg.succs[f.entry.index()].clone();
+        for arm in arms {
+            if arm != join {
+                assert!(!dom.dominates(arm, join));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let f = main_fn("int main() { int i; for (i = 0; i < 4; i = i + 1) { i; } return i; }");
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        // Find the back edge: succ with rpo index <= own.
+        let mut found = false;
+        for &b in &cfg.rpo {
+            for &s in &cfg.succs[b.index()] {
+                if cfg.rpo_index[s.index()] <= cfg.rpo_index[b.index()] && dom.dominates(s, b) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "natural loop back edge with dominating header");
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        // `return` in the middle makes trailing blocks unreachable.
+        let f = main_fn("int main() { return 0; }");
+        let cfg = Cfg::new(&f);
+        assert!(cfg.rpo.len() <= f.blocks.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Diagnostics: source spans and compile errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open region of source text, tracked as 1-based line/column of its
+/// start. MiniC diagnostics only need the start point, so the span is kept
+/// deliberately small and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The error type produced by every front-end stage (lexing, parsing, type
+/// checking, lowering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which stage rejected the input.
+    pub stage: Stage,
+    /// Human-readable description, lowercase without trailing punctuation.
+    pub message: String,
+    /// Where in the source the problem was detected.
+    pub span: Span,
+}
+
+/// Front-end stage that produced a [`CompileError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Type checking and lowering to IR.
+    Lower,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Lower => write!(f, "lower"),
+        }
+    }
+}
+
+impl CompileError {
+    /// Construct an error for the given stage.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            stage,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn error_display_mentions_stage_and_span() {
+        let e = CompileError::new(Stage::Parse, "expected ';'", Span::new(2, 5));
+        assert_eq!(e.to_string(), "parse error at 2:5: expected ';'");
+    }
+
+    #[test]
+    fn spans_order_by_line_then_col() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

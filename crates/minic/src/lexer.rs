@@ -1,0 +1,348 @@
+//! Hand-written lexer for MiniC.
+
+use crate::diag::{CompileError, Span, Stage};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Tokenize MiniC source text.
+///
+/// Supports `//` line comments and `/* ... */` block comments; decimal and
+/// `0x` hexadecimal integer literals.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on an unrecognized character, an unterminated
+/// block comment, or an integer literal that overflows `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            _source: source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>, span: Span) -> CompileError {
+        CompileError::new(Stage::Lex, msg, span)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number(span)?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else {
+                self.punct(span)?
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let open = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.err("unterminated block comment", open)),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind, CompileError> {
+        let mut text = String::new();
+        let radix = if self.peek() == Some('0')
+            && matches!(self.peek2(), Some('x') | Some('X'))
+        {
+            self.bump();
+            self.bump();
+            16
+        } else {
+            10
+        };
+        while let Some(c) = self.peek() {
+            if c.is_digit(radix) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            return Err(self.err("malformed integer literal", span));
+        }
+        let value = i64::from_str_radix(&text, radix)
+            .map_err(|_| self.err("integer literal overflows i64", span))?;
+        Ok(TokenKind::Int(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_ident(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        }
+    }
+
+    fn punct(&mut self, span: Span) -> Result<TokenKind, CompileError> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |this: &mut Self, next: char, long: Punct, short: Punct| {
+            if this.peek() == Some(next) {
+                this.bump();
+                long
+            } else {
+                short
+            }
+        };
+        let p = match c {
+            '(' => Punct::LParen,
+            ')' => Punct::RParen,
+            '{' => Punct::LBrace,
+            '}' => Punct::RBrace,
+            '[' => Punct::LBracket,
+            ']' => Punct::RBracket,
+            ';' => Punct::Semi,
+            ',' => Punct::Comma,
+            '.' => Punct::Dot,
+            '+' => {
+                if self.peek() == Some('+') {
+                    self.bump();
+                    Punct::PlusPlus
+                } else {
+                    two(self, '=', Punct::PlusEq, Punct::Plus)
+                }
+            }
+            '*' => two(self, '=', Punct::StarEq, Punct::Star),
+            '/' => two(self, '=', Punct::SlashEq, Punct::Slash),
+            '%' => two(self, '=', Punct::PercentEq, Punct::Percent),
+            '^' => two(self, '=', Punct::CaretEq, Punct::Caret),
+            '-' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Punct::Arrow
+                } else if self.peek() == Some('-') {
+                    self.bump();
+                    Punct::MinusMinus
+                } else {
+                    two(self, '=', Punct::MinusEq, Punct::Minus)
+                }
+            }
+            '=' => two(self, '=', Punct::EqEq, Punct::Assign),
+            '!' => two(self, '=', Punct::Ne, Punct::Not),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Punct::AndAnd
+                } else {
+                    two(self, '=', Punct::AmpEq, Punct::Amp)
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Punct::OrOr
+                } else {
+                    two(self, '=', Punct::PipeEq, Punct::Pipe)
+                }
+            }
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    Punct::Shl
+                } else {
+                    two(self, '=', Punct::Le, Punct::Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Punct::Shr
+                } else {
+                    two(self, '=', Punct::Ge, Punct::Gt)
+                }
+            }
+            other => {
+                return Err(self.err(format!("unrecognized character '{other}'"), span));
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        let ks = kinds("int x;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        let ks = kinds("a <= b << c < d == e = f");
+        let puncts: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![
+                Punct::Le,
+                Punct::Shl,
+                Punct::Lt,
+                Punct::EqEq,
+                Punct::Assign
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_minus() {
+        let ks = kinds("p->x - 1");
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Minus)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("// line\nint /* block\nmulti */ y;");
+        assert_eq!(ks.len(), 4); // int, y, ;, eof
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xff")[0], TokenKind::Int(255));
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("int\nx\n;").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("int @").unwrap_err();
+        assert!(err.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+
+    #[test]
+    fn eof_token_always_present() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

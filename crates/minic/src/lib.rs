@@ -1,0 +1,77 @@
+//! MiniC: the C-like front end and intermediate representation that every
+//! other Chimera crate operates on.
+//!
+//! The original Chimera system (PLDI 2012) analyzed real C programs through
+//! CIL. This crate plays CIL's role for the reproduction: it defines a small
+//! C-like surface language with pthread-style concurrency primitives, parses
+//! and type-checks it, and lowers it to a CFG-based IR with explicit memory
+//! accesses, synchronization operations, and (after instrumentation)
+//! weak-lock operations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chimera_minic::compile;
+//!
+//! let program = compile(
+//!     r#"
+//!     int counter;
+//!     lock_t m;
+//!     void worker(int n) {
+//!         int i;
+//!         for (i = 0; i < n; i = i + 1) {
+//!             lock(&m);
+//!             counter = counter + 1;
+//!             unlock(&m);
+//!         }
+//!     }
+//!     int main() {
+//!         int t;
+//!         t = spawn(worker, 10);
+//!         worker(10);
+//!         join(t);
+//!         print(counter);
+//!         return 0;
+//!     }
+//!     "#,
+//! )
+//! .expect("valid program");
+//! assert_eq!(program.funcs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod callgraph;
+pub mod cfg;
+pub mod diag;
+pub mod ir;
+pub mod lexer;
+pub mod loops;
+pub mod lower;
+pub mod opt;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod unparse;
+
+pub use diag::{CompileError, Span};
+pub use ir::{
+    AccessId, Block, BlockId, Callee, FuncId, Function, GlobalId, Instr, LocalId, Operand,
+    Program, Terminator, WeakLockId,
+};
+
+/// Compile MiniC source text all the way to the IR [`Program`].
+///
+/// This is the front door used by the rest of the workspace: it lexes,
+/// parses, type-checks, and lowers in one call.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic, or
+/// semantic problem encountered, with a line/column [`Span`].
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens)?;
+    lower::lower(&unit)
+}

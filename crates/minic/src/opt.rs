@@ -1,0 +1,412 @@
+//! Optional IR clean-up passes: constant folding and dead-code
+//! elimination.
+//!
+//! These run *before* analysis/instrumentation when requested (e.g. the
+//! CLI's `--opt`). They are deliberately conservative around everything
+//! the Chimera pipeline cares about:
+//!
+//! * memory accesses are never removed or reordered (their [`AccessId`]s
+//!   and dynamic counts are what the race detector and the evaluation
+//!   measure);
+//! * synchronization, calls, I/O, and weak-lock operations are untouched;
+//! * only pure register arithmetic is folded or eliminated.
+//!
+//! [`AccessId`]: crate::ir::AccessId
+
+use crate::ast::{BinOp, UnOp};
+use crate::ir::{Function, Instr, LocalId, Operand, Program, Terminator};
+use std::collections::BTreeSet;
+
+/// Run all passes to a fixpoint (each pass can expose work for the other).
+/// Returns the number of instructions removed or simplified.
+pub fn optimize(program: &mut Program) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        for f in &mut program.funcs {
+            changed += fold_constants_in(f);
+            changed += eliminate_dead_code_in(f);
+        }
+        if changed == 0 {
+            return total;
+        }
+        total += changed;
+    }
+}
+
+/// Fold `BinOp`/`UnOp`/`PtrAdd` instructions whose operands are constants
+/// into `Copy` of the result; propagate single-use constant copies into
+/// operands within the same block.
+pub fn fold_constants(program: &mut Program) -> usize {
+    program.funcs.iter_mut().map(fold_constants_in).sum()
+}
+
+fn fold_constants_in(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in 0..f.blocks.len() {
+        // Local constant environment, killed on any redefinition.
+        let mut env: Vec<Option<i64>> = vec![None; f.locals.len()];
+        let block = &mut f.blocks[b];
+        for i in &mut block.instrs {
+            // Substitute known constants into operands of pure instrs.
+            let subst = |env: &[Option<i64>], op: &mut Operand| {
+                if let Operand::Local(l) = op {
+                    if let Some(c) = env[l.index()] {
+                        *op = Operand::Const(c);
+                    }
+                }
+            };
+            match i {
+                Instr::Copy { src, .. } => subst(&env, src),
+                Instr::UnOp { src, .. } => subst(&env, src),
+                Instr::BinOp { a, b, .. } => {
+                    subst(&env, a);
+                    subst(&env, b);
+                }
+                Instr::PtrAdd { base, offset, .. } => {
+                    subst(&env, base);
+                    subst(&env, offset);
+                }
+                Instr::AddrOfGlobal { offset, .. } | Instr::AddrOfLocal { offset, .. } => {
+                    subst(&env, offset)
+                }
+                // Accesses and effects keep their operands as-is: values
+                // are identical either way, and leaving them alone keeps
+                // this pass trivially measurement-neutral.
+                _ => {}
+            }
+            // Fold pure computations on constants.
+            let folded: Option<(LocalId, i64)> = match i {
+                Instr::BinOp {
+                    dst,
+                    op,
+                    a: Operand::Const(x),
+                    b: Operand::Const(y),
+                } => eval_binop(*op, *x, *y).map(|v| (*dst, v)),
+                Instr::UnOp {
+                    dst,
+                    op,
+                    src: Operand::Const(x),
+                } => Some((
+                    *dst,
+                    match op {
+                        UnOp::Neg => x.wrapping_neg(),
+                        UnOp::Not => (*x == 0) as i64,
+                    },
+                )),
+                Instr::PtrAdd {
+                    dst,
+                    base: Operand::Const(x),
+                    offset: Operand::Const(y),
+                } => Some((*dst, x.wrapping_add(*y))),
+                _ => None,
+            };
+            if let Some((dst, v)) = folded {
+                *i = Instr::Copy {
+                    dst,
+                    src: Operand::Const(v),
+                };
+                changed += 1;
+            }
+            // Update the environment.
+            if let Some(def) = def_of(i) {
+                env[def.index()] = match i {
+                    Instr::Copy {
+                        src: Operand::Const(c),
+                        ..
+                    } => Some(*c),
+                    _ => None,
+                };
+            }
+        }
+        // Fold branches on constants into jumps.
+        if let Terminator::Branch {
+            cond: Operand::Const(c),
+            then_bb,
+            else_bb,
+        } = block.term
+        {
+            block.term = Terminator::Jump(if c != 0 { then_bb } else { else_bb });
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Remove pure register definitions whose results are never used.
+/// Memory accesses, calls, synchronization, I/O, and weak-lock operations
+/// are never removed.
+pub fn eliminate_dead_code(program: &mut Program) -> usize {
+    program.funcs.iter_mut().map(eliminate_dead_code_in).sum()
+}
+
+fn eliminate_dead_code_in(f: &mut Function) -> usize {
+    // Collect all used locals (operands anywhere, plus address bases).
+    let mut used: BTreeSet<LocalId> = BTreeSet::new();
+    let use_op = |op: &Operand, used: &mut BTreeSet<LocalId>| {
+        if let Operand::Local(l) = op {
+            used.insert(*l);
+        }
+    };
+    for b in &f.blocks {
+        for i in &b.instrs {
+            for op in operands_of(i) {
+                use_op(&op, &mut used);
+            }
+            // AddrOfLocal keeps its slot local alive.
+            if let Instr::AddrOfLocal { local, .. } = i {
+                used.insert(*local);
+            }
+        }
+        match &b.term {
+            Terminator::Branch { cond, .. } => use_op(cond, &mut used),
+            Terminator::Return(Some(op)) => use_op(op, &mut used),
+            _ => {}
+        }
+    }
+    for p in &f.params {
+        used.insert(*p);
+    }
+    let mut removed = 0;
+    for b in &mut f.blocks {
+        let mut keep_instrs = Vec::with_capacity(b.instrs.len());
+        let mut keep_spans = Vec::with_capacity(b.spans.len());
+        for (idx, i) in b.instrs.iter().enumerate() {
+            let removable = match i {
+                Instr::Copy { dst, .. }
+                | Instr::UnOp { dst, .. }
+                | Instr::BinOp { dst, .. }
+                | Instr::AddrOfGlobal { dst, .. }
+                | Instr::AddrOfLocal { dst, .. }
+                | Instr::AddrOfFunc { dst, .. }
+                | Instr::PtrAdd { dst, .. } => !used.contains(dst),
+                _ => false,
+            };
+            if removable {
+                removed += 1;
+            } else {
+                keep_instrs.push(i.clone());
+                keep_spans.push(b.spans[idx]);
+            }
+        }
+        b.instrs = keep_instrs;
+        b.spans = keep_spans;
+    }
+    removed
+}
+
+fn eval_binop(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None; // preserve the runtime trap
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+        BinOp::BitAnd => x & y,
+        BinOp::BitOr => x | y,
+        BinOp::BitXor => x ^ y,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::LogAnd => ((x != 0) && (y != 0)) as i64,
+        BinOp::LogOr => ((x != 0) || (y != 0)) as i64,
+    })
+}
+
+fn def_of(i: &Instr) -> Option<LocalId> {
+    match i {
+        Instr::Copy { dst, .. }
+        | Instr::UnOp { dst, .. }
+        | Instr::BinOp { dst, .. }
+        | Instr::AddrOfGlobal { dst, .. }
+        | Instr::AddrOfLocal { dst, .. }
+        | Instr::AddrOfFunc { dst, .. }
+        | Instr::PtrAdd { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::Malloc { dst, .. }
+        | Instr::SysInput { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// All value operands of an instruction (excluding defined destinations).
+fn operands_of(i: &Instr) -> Vec<Operand> {
+    match i {
+        Instr::Copy { src, .. } | Instr::UnOp { src, .. } => vec![*src],
+        Instr::BinOp { a, b, .. } => vec![*a, *b],
+        Instr::AddrOfGlobal { offset, .. } | Instr::AddrOfLocal { offset, .. } => vec![*offset],
+        Instr::AddrOfFunc { .. } => vec![],
+        Instr::PtrAdd { base, offset, .. } => vec![*base, *offset],
+        Instr::Load { addr, .. } => vec![*addr],
+        Instr::Store { addr, val, .. } => vec![*addr, *val],
+        Instr::Call { args, callee, .. } | Instr::Spawn { args, callee, .. } => {
+            let mut v = args.clone();
+            if let crate::ir::Callee::Indirect(op) = callee {
+                v.push(*op);
+            }
+            v
+        }
+        Instr::Lock { addr } | Instr::Unlock { addr } | Instr::BarrierWait { addr } => {
+            vec![*addr]
+        }
+        Instr::BarrierInit { addr, count } => vec![*addr, *count],
+        Instr::CondWait { cond, lock } => vec![*cond, *lock],
+        Instr::CondSignal { cond } | Instr::CondBroadcast { cond } => vec![*cond],
+        Instr::Join { tid } => vec![*tid],
+        Instr::Malloc { size, .. } => vec![*size],
+        Instr::Free { addr } => vec![*addr],
+        Instr::SysRead { chan, buf, len, .. } => vec![*chan, *buf, *len],
+        Instr::SysWrite { chan, buf, len } => vec![*chan, *buf, *len],
+        Instr::SysInput { chan, .. } => vec![*chan],
+        Instr::Print { val } => vec![*val],
+        Instr::WeakAcquire { range, .. } => match range {
+            Some((lo, hi)) => vec![*lo, *hi],
+            None => vec![],
+        },
+        Instr::WeakRelease { .. } => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::ir::Program;
+
+    fn count_instrs(p: &Program) -> usize {
+        p.funcs.iter().map(|f| f.instr_count()).sum()
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut p = compile("int main() { int x; x = 2 + 3 * 4; return x; }").unwrap();
+        let before = count_instrs(&p);
+        let n = optimize(&mut p);
+        assert!(n > 0);
+        assert!(count_instrs(&p) < before);
+        // The return value path must now be a constant copy.
+        let main = p.func_by_name("main").unwrap();
+        let has_const_14 = main.blocks.iter().any(|b| {
+            b.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Copy {
+                        src: Operand::Const(14),
+                        ..
+                    }
+                )
+            })
+        });
+        assert!(has_const_14);
+    }
+
+    #[test]
+    fn never_removes_memory_accesses() {
+        let mut p = compile(
+            "int g;
+             int main() { int dead; dead = g; g = 5; return 0; }",
+        )
+        .unwrap();
+        let accesses_before = count_accesses(&p);
+        optimize(&mut p);
+        assert_eq!(count_accesses(&p), accesses_before, "loads/stores are sacred");
+    }
+
+    fn count_accesses(p: &Program) -> usize {
+        p.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| i.access_id().is_some())
+            .count()
+    }
+
+    #[test]
+    fn removes_dead_pure_temporaries() {
+        let mut p = compile(
+            "int main() { int a; int b; a = 1 + 2; b = a * 0; return 7; }",
+        )
+        .unwrap();
+        let before = count_instrs(&p);
+        optimize(&mut p);
+        assert!(count_instrs(&p) < before);
+    }
+
+    #[test]
+    fn constant_branch_becomes_jump() {
+        let mut p = compile("int main() { if (1) { return 5; } return 6; }").unwrap();
+        optimize(&mut p);
+        let main = p.func_by_name("main").unwrap();
+        let any_branch = main
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(!any_branch, "constant condition must fold to a jump");
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded_away() {
+        let mut p = compile("int main() { int x; x = 1 / 0; return x; }").unwrap();
+        optimize(&mut p);
+        let main = p.func_by_name("main").unwrap();
+        let still_divides = main.blocks.iter().any(|b| {
+            b.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::BinOp { op: BinOp::Div, .. }))
+        });
+        assert!(still_divides, "the trap must be preserved");
+    }
+
+    #[test]
+    fn sync_and_calls_survive() {
+        let mut p = compile(
+            "lock_t m; int g;
+             int id(int x) { return x; }
+             void w(int v) { lock(&m); g = id(v); unlock(&m); }
+             int main() { int t; t = spawn(w, 1); join(t); return 0; }",
+        )
+        .unwrap();
+        let sync_before = count_sync(&p);
+        optimize(&mut p);
+        assert_eq!(count_sync(&p), sync_before);
+    }
+
+    fn count_sync(p: &Program) -> usize {
+        p.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| i.is_program_sync() || matches!(i, Instr::Call { .. }))
+            .count()
+    }
+
+    #[test]
+    fn spans_stay_aligned_after_optimization() {
+        let mut p = compile(
+            "int g;
+             int main() { int i; for (i = 0; i < 3 + 4; i = i + 1) { g = g + 2 * 3; } return g; }",
+        )
+        .unwrap();
+        optimize(&mut p);
+        for f in &p.funcs {
+            for b in &f.blocks {
+                assert_eq!(b.instrs.len(), b.spans.len());
+            }
+        }
+    }
+}

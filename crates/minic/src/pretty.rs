@@ -1,0 +1,147 @@
+//! A human-readable IR printer, used in tests, debugging, and examples.
+
+use crate::ir::*;
+use std::fmt::Write as _;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for g in p.globals.iter().enumerate() {
+        let (i, g) = g;
+        let sync = if g.is_sync { " sync" } else { "" };
+        let _ = writeln!(out, "global @{i} {} [{} cells]{sync}", g.name, g.size);
+    }
+    for f in &p.funcs {
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+/// Render one function.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{p}:{}", f.locals[p.index()].name))
+        .collect();
+    let _ = writeln!(out, "func {} {}({}) {{", f.id, f.name, params.join(", "));
+    for (bid, b) in f.iter_blocks() {
+        let _ = writeln!(out, "{bid}:");
+        for i in &b.instrs {
+            let _ = writeln!(out, "    {}", instr_to_string(i));
+        }
+        let _ = writeln!(out, "    {}", term_to_string(&b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn callee_str(c: &Callee) -> String {
+    match c {
+        Callee::Direct(f) => f.to_string(),
+        Callee::Indirect(op) => format!("*{op}"),
+    }
+}
+
+/// Render one instruction.
+pub fn instr_to_string(i: &Instr) -> String {
+    match i {
+        Instr::Copy { dst, src } => format!("{dst} = {src}"),
+        Instr::UnOp { dst, op, src } => format!("{dst} = {op:?} {src}"),
+        Instr::BinOp { dst, op, a, b } => format!("{dst} = {a} {op:?} {b}"),
+        Instr::AddrOfGlobal { dst, global, offset } => {
+            format!("{dst} = &{global} + {offset}")
+        }
+        Instr::AddrOfLocal { dst, local, offset } => {
+            format!("{dst} = &{local} + {offset}")
+        }
+        Instr::AddrOfFunc { dst, func } => format!("{dst} = &{func}"),
+        Instr::PtrAdd { dst, base, offset } => format!("{dst} = {base} +p {offset}"),
+        Instr::Load { dst, addr, access } => format!("{dst} = load {addr}  ; {access}"),
+        Instr::Store { addr, val, access } => format!("store {addr} <- {val}  ; {access}"),
+        Instr::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} = call {}({})", callee_str(callee), args.join(", ")),
+                None => format!("call {}({})", callee_str(callee), args.join(", ")),
+            }
+        }
+        Instr::Lock { addr } => format!("lock {addr}"),
+        Instr::Unlock { addr } => format!("unlock {addr}"),
+        Instr::BarrierInit { addr, count } => format!("barrier_init {addr}, {count}"),
+        Instr::BarrierWait { addr } => format!("barrier_wait {addr}"),
+        Instr::CondWait { cond, lock } => format!("cond_wait {cond}, {lock}"),
+        Instr::CondSignal { cond } => format!("cond_signal {cond}"),
+        Instr::CondBroadcast { cond } => format!("cond_broadcast {cond}"),
+        Instr::Spawn { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} = spawn {}({})", callee_str(callee), args.join(", ")),
+                None => format!("spawn {}({})", callee_str(callee), args.join(", ")),
+            }
+        }
+        Instr::Join { tid } => format!("join {tid}"),
+        Instr::Malloc { dst, size, site } => format!("{dst} = malloc {size}  ; {site}"),
+        Instr::Free { addr } => format!("free {addr}"),
+        Instr::SysRead { dst, chan, buf, len } => match dst {
+            Some(d) => format!("{d} = sys_read {chan}, {buf}, {len}"),
+            None => format!("sys_read {chan}, {buf}, {len}"),
+        },
+        Instr::SysWrite { chan, buf, len } => format!("sys_write {chan}, {buf}, {len}"),
+        Instr::SysInput { dst, chan } => format!("{dst} = sys_input {chan}"),
+        Instr::Print { val } => format!("print {val}"),
+        Instr::WeakAcquire {
+            lock,
+            granularity,
+            range,
+        } => match range {
+            Some((lo, hi)) => format!("weak_acquire {lock} ({granularity}) range [{lo}, {hi}]"),
+            None => format!("weak_acquire {lock} ({granularity})"),
+        },
+        Instr::WeakRelease { lock } => format!("weak_release {lock}"),
+    }
+}
+
+fn term_to_string(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("branch {cond} ? {then_bb} : {else_bb}"),
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Return(None) => "return".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn prints_without_panicking_and_mentions_names() {
+        let p = compile(
+            "int g; lock_t m;
+             void w(int n) { lock(&m); g = g + n; unlock(&m); }
+             int main() { int t; t = spawn(w, 1); w(2); join(t); return g; }",
+        )
+        .unwrap();
+        let s = super::program_to_string(&p);
+        assert!(s.contains("func"));
+        assert!(s.contains("main"));
+        assert!(s.contains("lock"));
+        assert!(s.contains("spawn"));
+        assert!(s.contains("store"));
+    }
+
+    #[test]
+    fn every_block_is_labeled() {
+        let p = compile("int main() { int x; if (x) { x = 1; } return x; }").unwrap();
+        let s = super::function_to_string(p.func_by_name("main").unwrap());
+        for (bid, _) in p.func_by_name("main").unwrap().iter_blocks() {
+            assert!(s.contains(&format!("{bid}:")));
+        }
+    }
+}

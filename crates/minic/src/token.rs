@@ -1,0 +1,232 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// A lexical token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Location of the first character of the token.
+    pub span: Span,
+}
+
+/// All MiniC token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Reserved keyword.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Reserved words of the language.
+#[allow(missing_docs)] // variants are the keywords themselves
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Int,
+    Void,
+    LockT,
+    BarrierT,
+    CondT,
+    Struct,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+}
+
+impl Keyword {
+    /// Map an identifier spelling to a keyword, if it is reserved.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "void" => Keyword::Void,
+            "lock_t" => Keyword::LockT,
+            "barrier_t" => Keyword::BarrierT,
+            "cond_t" => Keyword::CondT,
+            "struct" => Keyword::Struct,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Void => "void",
+            Keyword::LockT => "lock_t",
+            Keyword::BarrierT => "barrier_t",
+            Keyword::CondT => "cond_t",
+            Keyword::Struct => "struct",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[allow(missing_docs)] // variants name their glyphs; see Display
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Not,
+    AndAnd,
+    OrOr,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Assign => "=",
+            Punct::PlusEq => "+=",
+            Punct::MinusEq => "-=",
+            Punct::StarEq => "*=",
+            Punct::SlashEq => "/=",
+            Punct::PercentEq => "%=",
+            Punct::AmpEq => "&=",
+            Punct::PipeEq => "|=",
+            Punct::CaretEq => "^=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::Not => "!",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Void,
+            Keyword::LockT,
+            Keyword::BarrierT,
+            Keyword::CondT,
+            Keyword::Struct,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+        ] {
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_ident("spawn"), None);
+        assert_eq!(Keyword::from_ident("lock"), None);
+    }
+
+    #[test]
+    fn punct_display() {
+        assert_eq!(Punct::Arrow.to_string(), "->");
+        assert_eq!(Punct::Shl.to_string(), "<<");
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline profiling of non-concurrent functions and loop-body sizes
+//! (paper §4 and §5.3).
+//!
+//! Chimera profiles the *uninstrumented* program over a set of
+//! representative inputs (the paper used 20 runs per benchmark, with
+//! inputs deliberately different from the evaluation inputs). Two facts are
+//! collected:
+//!
+//! * **Concurrent function pairs** — pairs of functions observed executing
+//!   at overlapping times on different threads in *any* profile run. A racy
+//!   function pair that is never observed concurrent becomes a candidate
+//!   for a coarse function-granularity weak-lock.
+//! * **Loop statistics** — average dynamic instructions per loop iteration,
+//!   used by the instrumenter's loop-body-threshold rule when symbolic
+//!   bounds are too imprecise (§5.3).
+//!
+//! Functions are keyed by *name* (not id) so profiles taken on one input
+//! variant of a workload apply to another variant of the same source.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chimera_minic::compile;
+//! use chimera_profile::{profile_runs, ProfileData};
+//! use chimera_runtime::ExecConfig;
+//!
+//! let p = compile(
+//!     "int g; lock_t m;
+//!      void w(int n) { lock(&m); g = g + n; unlock(&m); }
+//!      int main() { int t; t = spawn(w, 1); w(2); join(t); return 0; }",
+//! )
+//! .unwrap();
+//! let data = profile_runs(&p, &ExecConfig::default(), &[1, 2, 3]);
+//! assert_eq!(data.runs, 3);
+//! assert!(data.was_executed("w"));
+//! ```
+
+#![warn(missing_docs)]
+
+use chimera_minic::cfg::{Cfg, Dominators};
+use chimera_minic::ir::{BlockId, FuncId, Program};
+use chimera_minic::loops::LoopForest;
+use chimera_runtime::{execute_supervised, Event, ExecConfig, Supervisor, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Merged profiling facts across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileData {
+    /// Number of profile runs merged in.
+    pub runs: u32,
+    /// Functions observed executing at least once.
+    pub executed: BTreeSet<String>,
+    /// Function pairs observed concurrent (normalized `a <= b`; includes
+    /// self-pairs when two instances of one function overlapped).
+    pub concurrent: BTreeSet<(String, String)>,
+    /// Per `(function, loop-header block)` total iterations observed.
+    pub loop_iters: BTreeMap<(String, u32), u64>,
+    /// Per `(function, loop-header block)` total dynamic instructions
+    /// attributed to the loop body.
+    pub loop_instrs: BTreeMap<(String, u32), u64>,
+}
+
+impl ProfileData {
+    /// Was the pair ever observed concurrent?
+    pub fn observed_concurrent(&self, a: &str, b: &str) -> bool {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        self.concurrent.contains(&key)
+    }
+
+    /// Profiling evidence of non-concurrency: both functions executed in
+    /// at least one run and were never seen overlapping. Functions that
+    /// never executed give no evidence (conservatively "may be
+    /// concurrent").
+    pub fn likely_non_concurrent(&self, a: &str, b: &str) -> bool {
+        self.was_executed(a) && self.was_executed(b) && !self.observed_concurrent(a, b)
+    }
+
+    /// Did this function run during profiling?
+    pub fn was_executed(&self, f: &str) -> bool {
+        self.executed.contains(f)
+    }
+
+    /// Average dynamic instructions per iteration of a loop, if observed.
+    pub fn avg_loop_body(&self, func: &str, header: BlockId) -> Option<f64> {
+        let key = (func.to_string(), header.0);
+        let iters = *self.loop_iters.get(&key)?;
+        if iters == 0 {
+            return None;
+        }
+        Some(*self.loop_instrs.get(&key)? as f64 / iters as f64)
+    }
+
+    /// Merge another profile in (set union / counter sum).
+    pub fn merge(&mut self, other: &ProfileData) {
+        self.runs += other.runs;
+        self.executed.extend(other.executed.iter().cloned());
+        self.concurrent.extend(other.concurrent.iter().cloned());
+        for (k, v) in &other.loop_iters {
+            *self.loop_iters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.loop_instrs {
+            *self.loop_instrs.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Observes function enter/exit events, maintaining per-thread stacks; any
+/// two functions live on different threads at the same commit point are
+/// concurrent (commit order is non-decreasing in virtual start time, so
+/// stack co-residency implies temporal overlap).
+#[derive(Debug, Default)]
+struct ConcurrencyObserver {
+    stacks: BTreeMap<ThreadId, Vec<FuncId>>,
+    pairs: BTreeSet<(FuncId, FuncId)>,
+    executed: BTreeSet<FuncId>,
+}
+
+impl Supervisor for ConcurrencyObserver {
+    fn on_event(&mut self, ev: &Event) {
+        match ev {
+            Event::FuncEnter { thread, func, .. } => {
+                self.executed.insert(*func);
+                for (t, stack) in &self.stacks {
+                    if t == thread {
+                        continue;
+                    }
+                    for g in stack {
+                        let pair = if *func <= *g {
+                            (*func, *g)
+                        } else {
+                            (*g, *func)
+                        };
+                        self.pairs.insert(pair);
+                    }
+                }
+                self.stacks.entry(*thread).or_default().push(*func);
+            }
+            Event::FuncExit { thread, .. } => {
+                if let Some(stack) = self.stacks.get_mut(thread) {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run one profile execution and distill it into [`ProfileData`].
+pub fn profile_once(program: &Program, config: &ExecConfig) -> ProfileData {
+    let mut obs = ConcurrencyObserver::default();
+    let cfg = ExecConfig {
+        count_blocks: true,
+        log_sync: false,
+        log_weak: false,
+        log_input: false,
+        ..config.clone()
+    };
+    let result = execute_supervised(program, &cfg, &mut obs);
+
+    let mut data = ProfileData {
+        runs: 1,
+        ..ProfileData::default()
+    };
+    let name_of = |f: FuncId| program.funcs[f.index()].name.clone();
+    for f in &obs.executed {
+        data.executed.insert(name_of(*f));
+    }
+    for (a, b) in &obs.pairs {
+        let (na, nb) = (name_of(*a), name_of(*b));
+        let key = if na <= nb { (na, nb) } else { (nb, na) };
+        data.concurrent.insert(key);
+    }
+    // Loop statistics from block counts.
+    for f in &program.funcs {
+        let counts = &result.block_counts[f.id.index()];
+        let cfg_s = Cfg::new(f);
+        let dom = Dominators::new(f, &cfg_s);
+        let forest = LoopForest::new(f, &cfg_s, &dom);
+        for l in &forest.loops {
+            let iters = counts[l.header.index()];
+            if iters == 0 {
+                continue;
+            }
+            let mut instrs = 0u64;
+            for b in &l.blocks {
+                instrs += counts[b.index()] * (f.block(*b).instrs.len() as u64 + 1);
+            }
+            let key = (f.name.clone(), l.header.0);
+            *data.loop_iters.entry(key.clone()).or_insert(0) += iters;
+            *data.loop_instrs.entry(key).or_insert(0) += instrs;
+        }
+    }
+    data
+}
+
+/// Profile `program` over several seeds (standing in for the paper's
+/// "various inputs") and merge the results.
+pub fn profile_runs(program: &Program, base: &ExecConfig, seeds: &[u64]) -> ProfileData {
+    let mut merged = ProfileData::default();
+    for &seed in seeds {
+        let cfg = ExecConfig {
+            seed,
+            ..base.clone()
+        };
+        merged.merge(&profile_once(program, &cfg));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    #[test]
+    fn concurrent_workers_detected() {
+        let p = compile(
+            "int a; int b;
+             void w1(int n) { int i; for (i = 0; i < 500; i = i + 1) { a = a + 1; } }
+             void w2(int n) { int i; for (i = 0; i < 500; i = i + 1) { b = b + 1; } }
+             int main() { int t1; int t2;
+                t1 = spawn(w1, 0); t2 = spawn(w2, 0); join(t1); join(t2); return 0; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[1]);
+        assert!(d.observed_concurrent("w1", "w2"));
+        assert!(!d.likely_non_concurrent("w1", "w2"));
+    }
+
+    #[test]
+    fn sequential_phases_are_non_concurrent() {
+        // w2 only runs after w1's thread is joined: never concurrent.
+        let p = compile(
+            "int a;
+             void w1(int n) { int i; for (i = 0; i < 200; i = i + 1) { a = a + 1; } }
+             void w2(int n) { int i; for (i = 0; i < 200; i = i + 1) { a = a + 1; } }
+             int main() { int t;
+                t = spawn(w1, 0); join(t);
+                t = spawn(w2, 0); join(t); return 0; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[1, 2, 3]);
+        assert!(d.likely_non_concurrent("w1", "w2"));
+    }
+
+    #[test]
+    fn barrier_separated_phases_non_concurrent() {
+        // The paper's water pattern (Fig. 2): bndry and interf are
+        // separated by a barrier inside the same worker function.
+        let p = compile(
+            "int shared; barrier_t bar;
+             void interf(int id) { shared = shared + id; }
+             void bndry(int id) { shared = shared * 2; }
+             void w(int id) { interf(id); barrier_wait(&bar); bndry(id); }
+             int main() { int t1; int t2;
+                barrier_init(&bar, 2);
+                t1 = spawn(w, 1); t2 = spawn(w, 2);
+                join(t1); join(t2); return shared; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[1, 2, 3, 4, 5]);
+        // interf runs before the barrier, bndry after: never concurrent.
+        assert!(
+            d.likely_non_concurrent("interf", "bndry"),
+            "concurrent set: {:?}",
+            d.concurrent
+        );
+        // But w overlaps with itself (two instances).
+        assert!(d.observed_concurrent("w", "w"));
+    }
+
+    #[test]
+    fn self_pair_for_multi_instance_worker() {
+        let p = compile(
+            "int g;
+             void w(int n) { int i; for (i = 0; i < 300; i = i + 1) { g = g + 1; } }
+             int main() { int t1; int t2;
+                t1 = spawn(w, 0); t2 = spawn(w, 0); join(t1); join(t2); return 0; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[7]);
+        assert!(d.observed_concurrent("w", "w"));
+    }
+
+    #[test]
+    fn loop_body_size_estimated() {
+        let p = compile(
+            "int acc;
+             int main() { int i;
+                for (i = 0; i < 100; i = i + 1) { acc = acc + i * 2 + 1; }
+                return acc; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[1]);
+        // Exactly one loop profiled; body is a handful of instructions.
+        assert_eq!(d.loop_iters.len(), 1);
+        let (key, iters) = d.loop_iters.iter().next().unwrap();
+        assert!(*iters >= 100, "{iters}");
+        let avg = d
+            .avg_loop_body("main", BlockId(key.1))
+            .expect("loop observed");
+        assert!(avg > 2.0 && avg < 40.0, "avg {avg}");
+    }
+
+    #[test]
+    fn merge_accumulates_runs_and_pairs() {
+        let mut a = ProfileData {
+            runs: 1,
+            ..ProfileData::default()
+        };
+        a.executed.insert("f".into());
+        let mut b = ProfileData {
+            runs: 2,
+            ..ProfileData::default()
+        };
+        b.executed.insert("g".into());
+        b.concurrent.insert(("f".into(), "g".into()));
+        a.merge(&b);
+        assert_eq!(a.runs, 3);
+        assert!(a.was_executed("g"));
+        assert!(a.observed_concurrent("g", "f"));
+    }
+
+    #[test]
+    fn unexecuted_function_gives_no_evidence() {
+        let p = compile(
+            "int g;
+             void never(int n) { g = n; }
+             int main() { return 0; }",
+        )
+        .unwrap();
+        let d = profile_runs(&p, &ExecConfig::default(), &[1]);
+        assert!(!d.likely_non_concurrent("never", "main"));
+    }
+
+    #[test]
+    fn saturation_more_runs_only_grow_the_set() {
+        let p = compile(
+            "int g;
+             void w(int n) { int i; for (i = 0; i < 100; i = i + 1) { g = g + 1; } }
+             int main() { int t; t = spawn(w, 0); w(0); join(t); return 0; }",
+        )
+        .unwrap();
+        let d1 = profile_runs(&p, &ExecConfig::default(), &[1]);
+        let d5 = profile_runs(&p, &ExecConfig::default(), &[1, 2, 3, 4, 5]);
+        assert!(d5.concurrent.is_superset(&d1.concurrent));
+    }
+}

@@ -1,0 +1,462 @@
+//! Andersen's inclusion-based points-to analysis.
+//!
+//! Flow- and context-insensitive, field-insensitive, with on-the-fly
+//! resolution of indirect calls: the targets of a call through a function
+//! pointer are taken from the current points-to set of the pointer, and
+//! parameter/return copy edges are added as new targets appear.
+
+use crate::obj::{AbsObj, ObjId, ObjectTable};
+use chimera_minic::ir::{
+    AccessId, Callee, FuncId, Instr, LocalId, Operand, Program, Terminator,
+};
+use std::collections::BTreeSet;
+
+/// Results of Andersen's analysis.
+#[derive(Debug, Clone)]
+pub struct Andersen {
+    objects: ObjectTable,
+    var_base: Vec<usize>,
+    n_nodes: usize,
+    pts: Vec<BTreeSet<ObjId>>,
+    access_objs: Vec<BTreeSet<ObjId>>,
+    empty: BTreeSet<ObjId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadC {
+    addr: usize,
+    dst: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreC {
+    addr: usize,
+    val: usize,
+}
+
+#[derive(Debug, Clone)]
+struct IndirectSite {
+    caller: FuncId,
+    callee_node: usize,
+    args: Vec<Operand>,
+    dst: Option<LocalId>,
+}
+
+impl Andersen {
+    /// Run the analysis to fixpoint.
+    pub fn analyze(program: &Program, objects: &ObjectTable) -> Andersen {
+        let mut var_base = Vec::with_capacity(program.funcs.len());
+        let mut n_vars = 0usize;
+        for f in &program.funcs {
+            var_base.push(n_vars);
+            n_vars += f.locals.len();
+        }
+        let n_nodes = n_vars + objects.len();
+        let mut a = Andersen {
+            objects: objects.clone(),
+            var_base,
+            n_nodes,
+            pts: vec![BTreeSet::new(); n_nodes],
+            access_objs: vec![BTreeSet::new(); program.accesses.len()],
+            empty: BTreeSet::new(),
+        };
+
+        // Collect constraints.
+        let mut copy_edges: Vec<(usize, usize)> = Vec::new(); // src -> dst
+        let mut loads: Vec<LoadC> = Vec::new();
+        let mut stores: Vec<StoreC> = Vec::new();
+        let mut indirect: Vec<IndirectSite> = Vec::new();
+        // Return nodes per function (locals flowing into `return`).
+        let mut ret_srcs: Vec<Vec<usize>> = vec![Vec::new(); program.funcs.len()];
+        for f in &program.funcs {
+            for b in &f.blocks {
+                if let Terminator::Return(Some(Operand::Local(l))) = b.term {
+                    ret_srcs[f.id.index()].push(a.var_node(f.id, l));
+                }
+            }
+        }
+
+        for f in &program.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    a.collect_instr(
+                        program,
+                        f.id,
+                        i,
+                        &mut copy_edges,
+                        &mut loads,
+                        &mut stores,
+                        &mut indirect,
+                        &ret_srcs,
+                    );
+                }
+            }
+        }
+
+        // Solve to fixpoint. Indirect sites may add copy edges as the
+        // points-to sets of function pointers grow.
+        let mut resolved_pairs: BTreeSet<(usize, u32)> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for &(src, dst) in &copy_edges {
+                changed |= a.union_into(src, dst);
+            }
+            for l in &loads {
+                let objs: Vec<ObjId> = a.pts[l.addr].iter().copied().collect();
+                for o in objs {
+                    let src = a.content_node(o);
+                    changed |= a.union_into(src, l.dst);
+                }
+            }
+            for s in &stores {
+                let objs: Vec<ObjId> = a.pts[s.addr].iter().copied().collect();
+                for o in objs {
+                    let dst = a.content_node(o);
+                    changed |= a.union_into(s.val, dst);
+                }
+            }
+            // Indirect call resolution.
+            let mut new_edges: Vec<(usize, usize)> = Vec::new();
+            for (site_idx, site) in indirect.iter().enumerate() {
+                let targets: Vec<FuncId> = a.pts[site.callee_node]
+                    .iter()
+                    .filter_map(|o| match a.objects.get(*o) {
+                        AbsObj::Func(t) => Some(t),
+                        _ => None,
+                    })
+                    .collect();
+                for t in targets {
+                    if !resolved_pairs.insert((site_idx, t.0)) {
+                        continue;
+                    }
+                    changed = true;
+                    let callee = &program.funcs[t.index()];
+                    for (ai, arg) in site.args.iter().enumerate() {
+                        if ai >= callee.params.len() {
+                            break;
+                        }
+                        if let Operand::Local(l) = arg {
+                            new_edges.push((
+                                a.var_node(site.caller, *l),
+                                a.var_node(t, callee.params[ai]),
+                            ));
+                        }
+                    }
+                    if let Some(d) = site.dst {
+                        for &r in &ret_srcs[t.index()] {
+                            new_edges.push((r, a.var_node(site.caller, d)));
+                        }
+                    }
+                }
+            }
+            copy_edges.extend(new_edges);
+            if !changed {
+                break;
+            }
+        }
+
+        // Record per-access object sets.
+        for f in &program.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    let (addr, access) = match i {
+                        Instr::Load { addr, access, .. } => (*addr, *access),
+                        Instr::Store { addr, access, .. } => (*addr, *access),
+                        _ => continue,
+                    };
+                    if let Operand::Local(l) = addr {
+                        let set = a.pts[a.var_node(f.id, l)]
+                            .iter()
+                            .copied()
+                            .filter(|o| !matches!(a.objects.get(*o), AbsObj::Func(_)))
+                            .collect();
+                        a.access_objs[access.index()] = set;
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect_instr(
+        &mut self,
+        program: &Program,
+        func: FuncId,
+        i: &Instr,
+        copy_edges: &mut Vec<(usize, usize)>,
+        loads: &mut Vec<LoadC>,
+        stores: &mut Vec<StoreC>,
+        indirect: &mut Vec<IndirectSite>,
+        ret_srcs: &[Vec<usize>],
+    ) {
+        let node = |this: &Self, l: LocalId| this.var_node(func, l);
+        match i {
+            Instr::AddrOfGlobal { dst, global, .. } => {
+                let o = self
+                    .objects
+                    .id_of(AbsObj::Global(*global))
+                    .expect("object table enumerates all globals");
+                let n = node(self, *dst);
+                self.pts[n].insert(o);
+            }
+            Instr::AddrOfLocal { dst, local, .. } => {
+                let o = self
+                    .objects
+                    .id_of(AbsObj::LocalSlot(func, *local))
+                    .expect("object table enumerates all slots");
+                let n = node(self, *dst);
+                self.pts[n].insert(o);
+            }
+            Instr::AddrOfFunc { dst, func: f } => {
+                let o = self
+                    .objects
+                    .id_of(AbsObj::Func(*f))
+                    .expect("object table enumerates address-taken funcs");
+                let n = node(self, *dst);
+                self.pts[n].insert(o);
+            }
+            Instr::Malloc { dst, site, .. } => {
+                let o = self
+                    .objects
+                    .id_of(AbsObj::Alloc(*site))
+                    .expect("object table enumerates alloc sites");
+                let n = node(self, *dst);
+                self.pts[n].insert(o);
+            }
+            Instr::Copy {
+                dst,
+                src: Operand::Local(s),
+            } => copy_edges.push((node(self, *s), node(self, *dst))),
+            Instr::PtrAdd {
+                dst,
+                base: Operand::Local(b),
+                ..
+            } => copy_edges.push((node(self, *b), node(self, *dst))),
+            Instr::Load {
+                dst,
+                addr: Operand::Local(addr),
+                ..
+            } => loads.push(LoadC {
+                addr: node(self, *addr),
+                dst: node(self, *dst),
+            }),
+            Instr::Store {
+                addr: Operand::Local(addr),
+                val: Operand::Local(v),
+                ..
+            } => stores.push(StoreC {
+                addr: node(self, *addr),
+                val: node(self, *v),
+            }),
+            Instr::Call { dst, callee, args } | Instr::Spawn { dst, callee, args } => {
+                match callee {
+                    Callee::Direct(t) => {
+                        let tf = &program.funcs[t.index()];
+                        for (ai, arg) in args.iter().enumerate() {
+                            if ai >= tf.params.len() {
+                                break;
+                            }
+                            if let Operand::Local(l) = arg {
+                                copy_edges
+                                    .push((node(self, *l), self.var_node(*t, tf.params[ai])));
+                            }
+                        }
+                        if let Some(d) = dst {
+                            for &r in &ret_srcs[t.index()] {
+                                copy_edges.push((r, node(self, *d)));
+                            }
+                        }
+                    }
+                    Callee::Indirect(op) => {
+                        if let Operand::Local(l) = op {
+                            indirect.push(IndirectSite {
+                                caller: func,
+                                callee_node: node(self, *l),
+                                args: args.clone(),
+                                dst: *dst,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn var_node(&self, f: FuncId, l: LocalId) -> usize {
+        self.var_base[f.index()] + l.index()
+    }
+
+    fn content_node(&self, o: ObjId) -> usize {
+        self.n_nodes - self.objects.len() + o.index()
+    }
+
+    fn union_into(&mut self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return false;
+        }
+        let add: Vec<ObjId> = self.pts[src]
+            .iter()
+            .filter(|o| !self.pts[dst].contains(o))
+            .copied()
+            .collect();
+        if add.is_empty() {
+            return false;
+        }
+        self.pts[dst].extend(add);
+        true
+    }
+
+    /// The points-to set of a local variable.
+    pub fn points_to(&self, func: FuncId, local: LocalId) -> &BTreeSet<ObjId> {
+        &self.pts[self.var_node(func, local)]
+    }
+
+    /// The points-to set of an operand (`Const` operands point nowhere).
+    pub fn points_to_operand(&self, func: FuncId, op: Operand) -> &BTreeSet<ObjId> {
+        match op {
+            Operand::Local(l) => self.points_to(func, l),
+            Operand::Const(_) => &self.empty,
+        }
+    }
+
+    /// Objects a given memory access may touch.
+    pub fn objects_of_access(&self, access: AccessId) -> &BTreeSet<ObjId> {
+        &self.access_objs[access.index()]
+    }
+
+    /// The object table the analysis ran over.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    fn local_named(p: &Program, func: &str, name: &str) -> (FuncId, LocalId) {
+        let f = p.func_by_name(func).unwrap();
+        let l = f.locals.iter().position(|l| l.name == name).unwrap();
+        (f.id, LocalId(l as u32))
+    }
+
+    fn analyze(src: &str) -> (Program, Andersen) {
+        let p = compile(src).unwrap();
+        let objects = ObjectTable::build(&p);
+        let a = Andersen::analyze(&p, &objects);
+        (p, a)
+    }
+
+    #[test]
+    fn address_of_global_is_precise() {
+        let (p, a) = analyze("int g; int h; int main() { int *q; q = &g; return *q; }");
+        let (f, q) = local_named(&p, "main", "q");
+        let pts = a.points_to(f, q);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(a.objects().get(*pts.iter().next().unwrap()), AbsObj::Global(chimera_minic::ir::GlobalId(0)));
+    }
+
+    #[test]
+    fn inclusion_distinguishes_directions() {
+        // Andersen (unlike Steensgaard) keeps q1 and q2 separate.
+        let (p, a) = analyze(
+            "int g; int h;
+             int main() { int *q1; int *q2; int *r; q1 = &g; q2 = &h; r = q1; return *r; }",
+        );
+        let (f, q1) = local_named(&p, "main", "q1");
+        let (_, q2) = local_named(&p, "main", "q2");
+        let (_, r) = local_named(&p, "main", "r");
+        assert_eq!(a.points_to(f, q1).len(), 1);
+        assert_eq!(a.points_to(f, q2).len(), 1);
+        assert_eq!(a.points_to(f, r).len(), 1);
+        assert_ne!(a.points_to(f, q1), a.points_to(f, q2));
+    }
+
+    #[test]
+    fn flow_through_heap_cell() {
+        let (p, a) = analyze(
+            "int g;
+             int main() {
+               int **cell; int *q;
+               cell = malloc(1);
+               *cell = &g;
+               q = *cell;
+               return *q;
+             }",
+        );
+        let (f, q) = local_named(&p, "main", "q");
+        let pts = a.points_to(f, q);
+        assert!(pts
+            .iter()
+            .any(|o| matches!(a.objects().get(*o), AbsObj::Global(_))));
+    }
+
+    #[test]
+    fn parameter_passing_propagates() {
+        let (p, a) = analyze(
+            "int g;
+             void sink(int *p) { *p = 1; }
+             int main() { sink(&g); return g; }",
+        );
+        let (f, pp) = local_named(&p, "sink", "p");
+        let pts = a.points_to(f, pp);
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn return_value_propagates() {
+        let (p, a) = analyze(
+            "int g;
+             int *get() { return &g; }
+             int main() { int *q; q = get(); return *q; }",
+        );
+        let (f, q) = local_named(&p, "main", "q");
+        assert_eq!(a.points_to(f, q).len(), 1);
+    }
+
+    #[test]
+    fn indirect_call_parameters_flow() {
+        let (p, a) = analyze(
+            "int g;
+             void sink(int *p) { *p = 1; }
+             int main() { int *fp; fp = sink; fp(&g); return g; }",
+        );
+        let (f, pp) = local_named(&p, "sink", "p");
+        assert_eq!(a.points_to(f, pp).len(), 1, "args flow through fp call");
+    }
+
+    #[test]
+    fn access_objects_recorded() {
+        let (p, a) = analyze("int g; int main() { int *q; q = &g; *q = 7; return 0; }");
+        // Find the store access.
+        let store = p.accesses.iter().find(|ac| ac.is_write).unwrap();
+        let objs = a.objects_of_access(store.id);
+        assert_eq!(objs.len(), 1);
+    }
+
+    #[test]
+    fn malloc_sites_distinct() {
+        let (p, a) = analyze(
+            "int main() { int *x; int *y; x = malloc(4); y = malloc(4); return 0; }",
+        );
+        let (f, x) = local_named(&p, "main", "x");
+        let (_, y) = local_named(&p, "main", "y");
+        assert_ne!(a.points_to(f, x), a.points_to(f, y));
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_target() {
+        // Paper §3.2: after arithmetic the pointer is assumed to point to
+        // the same object.
+        let (p, a) = analyze(
+            "int arr[8];
+             int main() { int *q; q = &arr[0]; q = q + 3; *q = 1; return 0; }",
+        );
+        let (f, q) = local_named(&p, "main", "q");
+        let pts = a.points_to(f, q);
+        assert_eq!(pts.len(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! The abstract-object table shared by both points-to analyses.
+
+use chimera_minic::ir::{AllocSiteId, FuncId, GlobalId, Instr, LocalId, Program, Storage};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An abstract memory object.
+///
+/// Matching RELAY's model (paper §6.2): globals, heap-allocation sites
+/// (one object per `malloc` site), *heapified* locals (address-taken or
+/// aggregate locals, which RELAY promotes to analyzable objects), and
+/// functions (targets of function pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsObj {
+    /// A global variable.
+    Global(GlobalId),
+    /// A slot local of a function ("heapified" local).
+    LocalSlot(FuncId, LocalId),
+    /// A heap object identified by its allocation site.
+    Alloc(AllocSiteId),
+    /// A function, as the target of a function pointer.
+    Func(FuncId),
+}
+
+impl fmt::Display for AbsObj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsObj::Global(g) => write!(f, "{g}"),
+            AbsObj::LocalSlot(func, l) => write!(f, "{func}:{l}"),
+            AbsObj::Alloc(a) => write!(f, "{a}"),
+            AbsObj::Func(id) => write!(f, "&{id}"),
+        }
+    }
+}
+
+/// Dense numbering of an abstract object, usable as an array index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Bidirectional map between [`AbsObj`] and dense [`ObjId`]s, enumerating
+/// every abstract object of a program.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectTable {
+    objs: Vec<AbsObj>,
+    ids: HashMap<AbsObj, ObjId>,
+}
+
+impl ObjectTable {
+    /// Enumerate all abstract objects of `program`: every global, every
+    /// slot local, every `malloc` site, and every function whose address is
+    /// taken.
+    pub fn build(program: &Program) -> ObjectTable {
+        let mut t = ObjectTable::default();
+        for (i, _) in program.globals.iter().enumerate() {
+            t.intern(AbsObj::Global(GlobalId(i as u32)));
+        }
+        for f in &program.funcs {
+            for (li, l) in f.locals.iter().enumerate() {
+                if matches!(l.storage, Storage::Slot { .. }) {
+                    t.intern(AbsObj::LocalSlot(f.id, LocalId(li as u32)));
+                }
+            }
+        }
+        for s in 0..program.alloc_sites {
+            t.intern(AbsObj::Alloc(AllocSiteId(s)));
+        }
+        for f in &program.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    if let Instr::AddrOfFunc { func, .. } = i {
+                        t.intern(AbsObj::Func(*func));
+                    }
+                    // Direct spawn targets are also function objects so the
+                    // race detector can reason about them uniformly.
+                    if let Instr::Spawn {
+                        callee: chimera_minic::ir::Callee::Direct(func),
+                        ..
+                    } = i
+                    {
+                        t.intern(AbsObj::Func(*func));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Intern an object, returning its id.
+    pub fn intern(&mut self, o: AbsObj) -> ObjId {
+        if let Some(&id) = self.ids.get(&o) {
+            return id;
+        }
+        let id = ObjId(self.objs.len() as u32);
+        self.objs.push(o);
+        self.ids.insert(o, id);
+        id
+    }
+
+    /// Look up the id of an object.
+    pub fn id_of(&self, o: AbsObj) -> Option<ObjId> {
+        self.ids.get(&o).copied()
+    }
+
+    /// The object for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: ObjId) -> AbsObj {
+        self.objs[id.index()]
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// True if no objects were enumerated.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+
+    /// Iterate over `(ObjId, AbsObj)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, AbsObj)> + '_ {
+        self.objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), *o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    #[test]
+    fn enumerates_globals_slots_allocs_funcs() {
+        let p = compile(
+            "int g; int arr[4];
+             int helper(int x) { return x; }
+             int main() {
+                int local_slot; int *p; int *h;
+                p = &local_slot;
+                h = malloc(8);
+                p = helper;
+                return *p;
+             }",
+        )
+        .unwrap();
+        let t = ObjectTable::build(&p);
+        let n_globals = t.iter().filter(|(_, o)| matches!(o, AbsObj::Global(_))).count();
+        let n_slots = t
+            .iter()
+            .filter(|(_, o)| matches!(o, AbsObj::LocalSlot(_, _)))
+            .count();
+        let n_allocs = t.iter().filter(|(_, o)| matches!(o, AbsObj::Alloc(_))).count();
+        let n_funcs = t.iter().filter(|(_, o)| matches!(o, AbsObj::Func(_))).count();
+        assert_eq!(n_globals, 2);
+        assert_eq!(n_slots, 1);
+        assert_eq!(n_allocs, 1);
+        assert_eq!(n_funcs, 1);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = ObjectTable::default();
+        let a = t.intern(AbsObj::Global(GlobalId(0)));
+        let b = t.intern(AbsObj::Global(GlobalId(0)));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn direct_spawn_target_is_an_object() {
+        let p = compile(
+            "void w(int x) {}
+             int main() { int t; t = spawn(w, 1); join(t); }",
+        )
+        .unwrap();
+        let t = ObjectTable::build(&p);
+        let w = p.func_by_name("w").unwrap().id;
+        assert!(t.id_of(AbsObj::Func(w)).is_some());
+    }
+}

@@ -1,0 +1,368 @@
+//! Steensgaard's unification-based (almost-linear-time) points-to analysis.
+//!
+//! Coarser than Andersen: every assignment *unifies* the points-to classes
+//! of both sides, so aliasing is symmetric and transitive. RELAY uses this
+//! analysis for lvalue aliasing (paper §6.2); its coarseness is one of the
+//! two main sources of false races that Chimera's optimizations then remove
+//! (§3.3).
+
+use crate::obj::{AbsObj, ObjId, ObjectTable};
+use chimera_minic::ir::{
+    AccessId, Callee, FuncId, Instr, LocalId, Operand, Program, Terminator,
+};
+use std::collections::BTreeSet;
+
+/// Results of Steensgaard's analysis.
+#[derive(Debug, Clone)]
+pub struct Steensgaard {
+    objects: ObjectTable,
+    var_base: Vec<usize>,
+    parent: Vec<usize>,
+    target: Vec<Option<usize>>,
+    /// Objects grouped by (representative of) the class containing them.
+    access_objs: Vec<BTreeSet<ObjId>>,
+    empty: BTreeSet<ObjId>,
+    n_obj_base: usize,
+}
+
+impl Steensgaard {
+    /// Run the unification analysis.
+    pub fn analyze(program: &Program, objects: &ObjectTable) -> Steensgaard {
+        let mut var_base = Vec::with_capacity(program.funcs.len());
+        let mut n_vars = 0usize;
+        for f in &program.funcs {
+            var_base.push(n_vars);
+            n_vars += f.locals.len();
+        }
+        let n_nodes = n_vars + objects.len();
+        let mut s = Steensgaard {
+            objects: objects.clone(),
+            var_base,
+            parent: (0..n_nodes).collect(),
+            target: vec![None; n_nodes],
+            access_objs: vec![BTreeSet::new(); program.accesses.len()],
+            empty: BTreeSet::new(),
+            n_obj_base: n_vars,
+        };
+
+        let mut ret_srcs: Vec<Vec<usize>> = vec![Vec::new(); program.funcs.len()];
+        for f in &program.funcs {
+            for b in &f.blocks {
+                if let Terminator::Return(Some(Operand::Local(l))) = b.term {
+                    ret_srcs[f.id.index()].push(s.var_node(f.id, l));
+                }
+            }
+        }
+        // Address-taken functions (for conservative indirect-call handling).
+        let addr_taken_funcs: Vec<FuncId> = objects
+            .iter()
+            .filter_map(|(_, o)| match o {
+                AbsObj::Func(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+
+        for f in &program.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    s.process(program, f.id, i, &ret_srcs, &addr_taken_funcs);
+                }
+            }
+        }
+
+        // Cache per-access object sets.
+        for f in &program.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    let (addr, access) = match i {
+                        Instr::Load { addr, access, .. } => (*addr, *access),
+                        Instr::Store { addr, access, .. } => (*addr, *access),
+                        _ => continue,
+                    };
+                    if let Operand::Local(l) = addr {
+                        let node = s.var_node(f.id, l);
+                        s.access_objs[access.index()] = s.objects_in_target_of(node);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn process(
+        &mut self,
+        program: &Program,
+        func: FuncId,
+        i: &Instr,
+        ret_srcs: &[Vec<usize>],
+        addr_taken_funcs: &[FuncId],
+    ) {
+        match i {
+            Instr::AddrOfGlobal { dst, global, .. } => {
+                let o = self.obj_node(AbsObj::Global(*global));
+                let t = self.ensure_target(self.var_node(func, *dst));
+                self.union(t, o);
+            }
+            Instr::AddrOfLocal { dst, local, .. } => {
+                let o = self.obj_node(AbsObj::LocalSlot(func, *local));
+                let t = self.ensure_target(self.var_node(func, *dst));
+                self.union(t, o);
+            }
+            Instr::AddrOfFunc { dst, func: f } => {
+                let o = self.obj_node(AbsObj::Func(*f));
+                let t = self.ensure_target(self.var_node(func, *dst));
+                self.union(t, o);
+            }
+            Instr::Malloc { dst, site, .. } => {
+                let o = self.obj_node(AbsObj::Alloc(*site));
+                let t = self.ensure_target(self.var_node(func, *dst));
+                self.union(t, o);
+            }
+            Instr::Copy {
+                dst,
+                src: Operand::Local(src),
+            } => self.unify_values(self.var_node(func, *dst), self.var_node(func, *src)),
+            Instr::PtrAdd {
+                dst,
+                base: Operand::Local(b),
+                ..
+            } => self.unify_values(self.var_node(func, *dst), self.var_node(func, *b)),
+            Instr::Load {
+                dst,
+                addr: Operand::Local(addr),
+                ..
+            } => {
+                // x = *p : unify value(x) with value(pointee(p)).
+                let p_t = self.ensure_target(self.var_node(func, *addr));
+                self.unify_values(self.var_node(func, *dst), p_t);
+            }
+            Instr::Store {
+                addr: Operand::Local(addr),
+                val: Operand::Local(v),
+                ..
+            } => {
+                let p_t = self.ensure_target(self.var_node(func, *addr));
+                self.unify_values(p_t, self.var_node(func, *v));
+            }
+            Instr::Call { dst, callee, args } | Instr::Spawn { dst, callee, args } => {
+                let targets: Vec<FuncId> = match callee {
+                    Callee::Direct(t) => vec![*t],
+                    Callee::Indirect(_) => addr_taken_funcs.to_vec(),
+                };
+                for t in targets {
+                    let tf = &program.funcs[t.index()];
+                    for (ai, arg) in args.iter().enumerate() {
+                        if ai >= tf.params.len() {
+                            break;
+                        }
+                        if let Operand::Local(l) = arg {
+                            self.unify_values(
+                                self.var_node(func, *l),
+                                self.var_node(t, tf.params[ai]),
+                            );
+                        }
+                    }
+                    if let Some(d) = dst {
+                        for &r in ret_srcs[t.index()].iter() {
+                            self.unify_values(self.var_node(func, *d), r);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn var_node(&self, f: FuncId, l: LocalId) -> usize {
+        self.var_base[f.index()] + l.index()
+    }
+
+    fn obj_node(&self, o: AbsObj) -> usize {
+        self.n_obj_base
+            + self
+                .objects
+                .id_of(o)
+                .expect("object table enumerates all objects")
+                .index()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unify two classes (and, recursively, their targets).
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        self.parent[rb] = ra;
+        match (self.target[ra], self.target[rb]) {
+            (Some(ta), Some(tb)) => self.union(ta, tb),
+            (None, Some(tb)) => self.target[ra] = Some(tb),
+            _ => {}
+        }
+    }
+
+    /// `x = y`: unify the *targets* of both value classes.
+    fn unify_values(&mut self, x: usize, y: usize) {
+        let tx = self.ensure_target(x);
+        let ty = self.ensure_target(y);
+        self.union(tx, ty);
+    }
+
+    /// The target class of `x`'s class, creating a fresh one if absent.
+    fn ensure_target(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        if let Some(t) = self.target[r] {
+            return self.find(t);
+        }
+        // Fresh class node.
+        let fresh = self.parent.len();
+        self.parent.push(fresh);
+        self.target.push(None);
+        self.target[r] = Some(fresh);
+        fresh
+    }
+
+    fn objects_in_target_of(&mut self, node: usize) -> BTreeSet<ObjId> {
+        let r = self.find(node);
+        let Some(t) = self.target[r] else {
+            return BTreeSet::new();
+        };
+        let tr = self.find(t);
+        let mut out = BTreeSet::new();
+        for (oid, _) in self.objects.clone().iter() {
+            let onode = self.n_obj_base + oid.index();
+            if self.find(onode) == tr {
+                out.insert(oid);
+            }
+        }
+        out
+    }
+
+    /// Objects a memory access may touch (pre-computed during analysis).
+    pub fn objects_of_access(&self, access: AccessId) -> &BTreeSet<ObjId> {
+        &self.access_objs[access.index()]
+    }
+
+    /// Objects an operand may point to. `Const` operands point nowhere.
+    pub fn points_to_operand(&mut self, func: FuncId, op: Operand) -> BTreeSet<ObjId> {
+        match op {
+            Operand::Local(l) => {
+                let node = self.var_node(func, l);
+                self.objects_in_target_of(node)
+            }
+            Operand::Const(_) => self.empty.clone(),
+        }
+    }
+
+    /// The object table the analysis ran over.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    fn analyze(src: &str) -> (Program, Steensgaard) {
+        let p = compile(src).unwrap();
+        let objects = ObjectTable::build(&p);
+        let s = Steensgaard::analyze(&p, &objects);
+        (p, s)
+    }
+
+    fn local(p: &Program, func: &str, name: &str) -> (FuncId, LocalId) {
+        let f = p.func_by_name(func).unwrap();
+        let l = f.locals.iter().position(|l| l.name == name).unwrap();
+        (f.id, LocalId(l as u32))
+    }
+
+    #[test]
+    fn direct_address_resolves() {
+        let (p, mut s) = analyze("int g; int main() { int *q; q = &g; *q = 1; return 0; }");
+        let (f, q) = local(&p, "main", "q");
+        let pts = s.points_to_operand(f, Operand::Local(q));
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn unification_merges_both_directions() {
+        // q1 = &g; q2 = &h; r = q1; r = q2; — under Steensgaard, r, q1 and
+        // q2 all end up pointing at {g, h}. Andersen would keep q1 and q2
+        // precise. This coarseness is the imprecision source the paper's
+        // §3.3 calls out.
+        let (p, mut s) = analyze(
+            "int g; int h;
+             int main() { int *q1; int *q2; int *r; q1 = &g; q2 = &h; r = q1; r = q2; return 0; }",
+        );
+        let (f, q1) = local(&p, "main", "q1");
+        let pts = s.points_to_operand(f, Operand::Local(q1));
+        assert_eq!(pts.len(), 2, "unification merged g and h, got {pts:?}");
+    }
+
+    #[test]
+    fn access_sets_symmetric_for_aliased_pointers() {
+        let (p, s) = analyze(
+            "int g;
+             int main() { int *a; int *b; a = &g; b = a; *a = 1; *b = 2; return 0; }",
+        );
+        let writes: Vec<_> = p.accesses.iter().filter(|a| a.is_write).collect();
+        assert_eq!(writes.len(), 2);
+        assert_eq!(
+            s.objects_of_access(writes[0].id),
+            s.objects_of_access(writes[1].id)
+        );
+    }
+
+    #[test]
+    fn distinct_unrelated_pointers_stay_separate() {
+        let (p, mut s) = analyze(
+            "int g; int h;
+             int main() { int *a; int *b; a = &g; b = &h; *a = 1; *b = 2; return 0; }",
+        );
+        let (f, a) = local(&p, "main", "a");
+        let (_, b) = local(&p, "main", "b");
+        let pa = s.points_to_operand(f, Operand::Local(a));
+        let pb = s.points_to_operand(f, Operand::Local(b));
+        assert!(pa.is_disjoint(&pb));
+    }
+
+    #[test]
+    fn parameters_unified_with_arguments() {
+        let (p, mut s) = analyze(
+            "int g;
+             void sink(int *x) { *x = 1; }
+             int main() { sink(&g); return 0; }",
+        );
+        let (f, x) = local(&p, "sink", "x");
+        let pts = s.points_to_operand(f, Operand::Local(x));
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn heap_flow_is_tracked() {
+        let (p, mut s) = analyze(
+            "int g;
+             int main() { int **c; int *q; c = malloc(1); *c = &g; q = *c; *q = 1; return 0; }",
+        );
+        let (f, q) = local(&p, "main", "q");
+        let pts = s.points_to_operand(f, Operand::Local(q));
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn no_target_means_empty_set() {
+        let (p, mut s) = analyze("int main() { int x; x = 1; return x; }");
+        let (f, x) = local(&p, "main", "x");
+        // x never holds a pointer; its points-to set is empty.
+        assert!(s.points_to_operand(f, Operand::Local(x)).is_empty());
+    }
+}

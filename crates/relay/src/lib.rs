@@ -1,0 +1,167 @@
+//! A RELAY-style lockset-based static data-race detector (paper §3).
+//!
+//! RELAY (Voung, Jhala, Lerner, FSE'07) is the sound-but-imprecise static
+//! detector Chimera instruments from. This crate reproduces its skeleton:
+//!
+//! 1. **Relative locksets** — for every function, a summary of the locks it
+//!    definitely acquires (`plus`) and may release (`minus`) relative to its
+//!    entry lockset, composed bottom-up over the call graph's SCCs (§3.1).
+//! 2. **Guarded accesses** — every memory access paired with the relative
+//!    lockset held at that program point.
+//! 3. **Top-down contexts** — the must-lockset at each function's entry,
+//!    intersected over all call sites from the thread roots.
+//! 4. **Race reporting** — two accesses race if they may alias a common
+//!    shared object, can execute in different threads, at least one writes,
+//!    and their absolute locksets are disjoint.
+//!
+//! Like RELAY, the detector accounts **only for mutex locks**: fork/join,
+//! barriers, and condition variables contribute no happens-before edges.
+//! That is deliberate — it is the first of the two imprecision sources
+//! (§3.3) that Chimera's profiling optimization targets. The second source
+//! is the coarse unification-based aliasing supplied by
+//! [`chimera_pta::Steensgaard`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chimera_minic::compile;
+//! use chimera_relay::detect_races;
+//!
+//! let p = compile(
+//!     "int counter; lock_t m;
+//!      void safe(int n) { lock(&m); counter = counter + n; unlock(&m); }
+//!      void racy(int n) { counter = counter + n; }
+//!      int main() {
+//!          int t; t = spawn(racy, 1);
+//!          racy(2);
+//!          join(t);
+//!          return counter;
+//!      }",
+//! )
+//! .unwrap();
+//! let report = detect_races(&p);
+//! assert!(!report.pairs.is_empty(), "the unlocked increment races");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lockset;
+pub mod oracle;
+pub mod races;
+
+pub use lockset::{FuncSummary, GuardedAccess, LocksetAnalysis};
+pub use oracle::AliasOracle;
+pub use races::{RacePair, RaceReport};
+
+use chimera_minic::callgraph::CallGraph;
+use chimera_minic::ir::Program;
+use chimera_pta::{indirect_targets, Andersen, ObjectTable, Steensgaard};
+
+/// Run the full RELAY pipeline with the paper's configuration: Andersen for
+/// function-pointer resolution, Steensgaard for lvalue aliasing.
+///
+/// This is the convenience entry point; for custom configurations build an
+/// [`AliasOracle`] and [`LocksetAnalysis`] directly.
+pub fn detect_races(program: &Program) -> RaceReport {
+    let objects = ObjectTable::build(program);
+    let andersen = Andersen::analyze(program, &objects);
+    let mut steens = Steensgaard::analyze(program, &objects);
+    let callgraph = CallGraph::build(program, |f| indirect_targets(&andersen, program, f));
+    let oracle = AliasOracle::from_steensgaard(program, &mut steens);
+    let lockset = LocksetAnalysis::run(program, &callgraph, &oracle);
+    races::find_races(program, &callgraph, &oracle, &lockset)
+}
+
+/// Ablation configuration: run the detector with Andersen's
+/// inclusion-based analysis for *both* function pointers and lvalue
+/// aliasing. More precise than the paper's Steensgaard configuration, so
+/// it reports a subset of the races — useful for quantifying how much of
+/// Chimera's instrumentation burden comes from unification-based aliasing
+/// (§3.3's second imprecision source).
+pub fn detect_races_with_andersen(program: &Program) -> RaceReport {
+    let objects = ObjectTable::build(program);
+    let andersen = Andersen::analyze(program, &objects);
+    let callgraph = CallGraph::build(program, |f| indirect_targets(&andersen, program, f));
+    let oracle = AliasOracle::from_andersen(program, &andersen);
+    let lockset = LocksetAnalysis::run(program, &callgraph, &oracle);
+    races::find_races(program, &callgraph, &oracle, &lockset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    #[test]
+    fn consistently_locked_counter_is_race_free() {
+        let p = compile(
+            "int counter; lock_t m;
+             void w(int n) { lock(&m); counter = counter + n; unlock(&m); }
+             int main() { int t; int r; t = spawn(w, 1); w(2); join(t);
+                          lock(&m); r = counter; unlock(&m); return r; }",
+        )
+        .unwrap();
+        let report = detect_races(&p);
+        assert!(
+            report.pairs.is_empty(),
+            "locked accesses should not race: {report:?}"
+        );
+    }
+
+    #[test]
+    fn unlocked_counter_races() {
+        let p = compile(
+            "int counter;
+             void w(int n) { counter = counter + n; }
+             int main() { int t; t = spawn(w, 1); w(2); join(t); return counter; }",
+        )
+        .unwrap();
+        let report = detect_races(&p);
+        assert!(!report.pairs.is_empty());
+        // read-write and write-write pairs on `counter`.
+        assert!(report.racy_accesses().len() >= 2);
+    }
+
+    #[test]
+    fn andersen_configuration_is_no_less_precise() {
+        let p = compile(
+            "int g; int h;
+             void w1(int v) { g = v; }
+             void w2(int v) { h = v; }
+             int main() { int t; t = spawn(w1, 1); w2(2);
+                          t = spawn(w1, 3); join(t); return 0; }",
+        )
+        .unwrap();
+        let steens = detect_races(&p);
+        let andersen = detect_races_with_andersen(&p);
+        assert!(
+            andersen.pairs.len() <= steens.pairs.len(),
+            "inclusion-based aliasing must not add races: {} vs {}",
+            andersen.pairs.len(),
+            steens.pairs.len()
+        );
+    }
+
+    #[test]
+    fn barrier_separation_still_reported_as_race() {
+        // The paper's water example (§4, Fig. 2): RELAY ignores barriers, so
+        // two phases that can never overlap are still reported racy. This
+        // false positive is exactly what profiling later removes.
+        let p = compile(
+            "int shared; barrier_t b;
+             void phase1(int n) { shared = n; barrier_wait(&b); }
+             void phase2(int n) { barrier_wait(&b); n = shared; }
+             void w(int id) { if (id == 0) { phase1(id); } else { phase2(id); } }
+             int main() {
+                int t; barrier_init(&b, 2);
+                t = spawn(w, 0); w(1); join(t); return shared;
+             }",
+        )
+        .unwrap();
+        let report = detect_races(&p);
+        assert!(
+            !report.pairs.is_empty(),
+            "lockset analysis must ignore barrier happens-before"
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Replay-log data structures, binary encoding, and compressed-size
+//! estimation.
+//!
+//! Chimera's recorder produces two families of logs (paper Table 2):
+//!
+//! * **DRF logs** — enough to replay a data-race-free program: every
+//!   nondeterministic input, and the happens-before order of the program's
+//!   own synchronization operations.
+//! * **Weak-lock logs** — the acquisition order of every weak-lock the
+//!   instrumenter added (one stream per granularity class), plus any forced
+//!   releases with their precise preemption points.
+//!
+//! The paper reports gzip-compressed sizes; we report sizes from a binary
+//! varint encoding plus an order-0 entropy + run-length estimate standing
+//! in for gzip (DESIGN.md §2).
+
+use chimera_minic::ir::{LockGranularity, WeakLockId};
+use std::collections::BTreeMap;
+
+/// A recorded nondeterministic input: the `seq`-th input consumed by
+/// `thread`.
+pub type InputKey = (u32, u64);
+
+/// All logs produced by one recorded execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayLogs {
+    /// Input payloads keyed by (thread, per-thread input sequence).
+    pub inputs: BTreeMap<InputKey, Vec<i64>>,
+    /// Per-mutex acquisition order (thread ids).
+    pub mutex_order: BTreeMap<i64, Vec<u32>>,
+    /// Per-condvar wakeup delivery order (thread ids of the woken).
+    pub cond_order: BTreeMap<i64, Vec<u32>>,
+    /// Global spawn order (parent thread ids).
+    pub spawn_order: Vec<u32>,
+    /// Global output-syscall order (writing thread ids).
+    pub output_order: Vec<u32>,
+    /// Per-weak-lock acquisition order (thread ids).
+    pub weak_order: BTreeMap<WeakLockId, Vec<u32>>,
+    /// Granularity of each weak-lock seen (for per-class counting).
+    pub weak_gran: BTreeMap<WeakLockId, LockGranularity>,
+    /// Forced releases: (holder thread, retired-instruction count, parked
+    /// flag, lock), in commit order.
+    pub forced: Vec<(u32, u64, bool, WeakLockId)>,
+    /// Count of program sync events logged (mutex + barrier + cond + spawn
+    /// + join).
+    pub sync_log_entries: u64,
+    /// Count of input events logged.
+    pub input_log_entries: u64,
+}
+
+impl ReplayLogs {
+    /// Number of weak-lock log entries for one granularity class — the
+    /// paper's "instr. log" / "basic blk. log" / "loop log" / "func. log"
+    /// columns of Table 2.
+    pub fn weak_entries(&self, g: LockGranularity) -> u64 {
+        self.weak_order
+            .iter()
+            .filter(|(l, _)| self.weak_gran.get(l) == Some(&g))
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
+
+    /// Total input words recorded.
+    pub fn input_words(&self) -> u64 {
+        self.inputs.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Serialize the input log to bytes (varint packed).
+    pub fn encode_input_log(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for ((t, seq), data) in &self.inputs {
+            push_varint(&mut out, *t as u64);
+            push_varint(&mut out, *seq);
+            push_varint(&mut out, data.len() as u64);
+            for &v in data {
+                push_varint(&mut out, zigzag(v));
+            }
+        }
+        out
+    }
+
+    /// Serialize the order log (program sync + weak-locks + forced
+    /// releases) to bytes.
+    pub fn encode_order_log(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (addr, threads) in &self.mutex_order {
+            push_varint(&mut out, zigzag(*addr));
+            push_varint(&mut out, threads.len() as u64);
+            out.extend(threads.iter().map(|t| *t as u8));
+        }
+        for (addr, threads) in &self.cond_order {
+            push_varint(&mut out, zigzag(*addr));
+            push_varint(&mut out, threads.len() as u64);
+            out.extend(threads.iter().map(|t| *t as u8));
+        }
+        push_varint(&mut out, self.spawn_order.len() as u64);
+        out.extend(self.spawn_order.iter().map(|t| *t as u8));
+        push_varint(&mut out, self.output_order.len() as u64);
+        out.extend(self.output_order.iter().map(|t| *t as u8));
+        for (lock, threads) in &self.weak_order {
+            push_varint(&mut out, lock.0 as u64);
+            push_varint(&mut out, threads.len() as u64);
+            out.extend(threads.iter().map(|t| *t as u8));
+        }
+        for (t, icount, parked, lock) in &self.forced {
+            push_varint(&mut out, *t as u64);
+            push_varint(&mut out, *icount);
+            out.push(*parked as u8);
+            push_varint(&mut out, lock.0 as u64);
+        }
+        out
+    }
+
+    /// Estimated compressed sizes in bytes: `(input_log, order_log)`.
+    pub fn compressed_sizes(&self) -> (usize, usize) {
+        (
+            compressed_estimate(&self.encode_input_log()),
+            compressed_estimate(&self.encode_order_log()),
+        )
+    }
+
+    /// Serialize the complete log set to a self-describing byte buffer
+    /// (what a real deployment writes to its log file).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CHIM");
+        push_varint(&mut out, 1); // format version
+        push_varint(&mut out, self.inputs.len() as u64);
+        for ((t, seq), data) in &self.inputs {
+            push_varint(&mut out, *t as u64);
+            push_varint(&mut out, *seq);
+            push_varint(&mut out, data.len() as u64);
+            for &v in data {
+                push_varint(&mut out, zigzag(v));
+            }
+        }
+        let order_map = |out: &mut Vec<u8>, m: &BTreeMap<i64, Vec<u32>>| {
+            push_varint(out, m.len() as u64);
+            for (addr, threads) in m {
+                push_varint(out, zigzag(*addr));
+                push_varint(out, threads.len() as u64);
+                for t in threads {
+                    push_varint(out, *t as u64);
+                }
+            }
+        };
+        order_map(&mut out, &self.mutex_order);
+        order_map(&mut out, &self.cond_order);
+        push_varint(&mut out, self.spawn_order.len() as u64);
+        for t in &self.spawn_order {
+            push_varint(&mut out, *t as u64);
+        }
+        push_varint(&mut out, self.output_order.len() as u64);
+        for t in &self.output_order {
+            push_varint(&mut out, *t as u64);
+        }
+        push_varint(&mut out, self.weak_order.len() as u64);
+        for (lock, threads) in &self.weak_order {
+            push_varint(&mut out, lock.0 as u64);
+            let g = self
+                .weak_gran
+                .get(lock)
+                .copied()
+                .unwrap_or(LockGranularity::Instruction);
+            push_varint(&mut out, gran_code(g));
+            push_varint(&mut out, threads.len() as u64);
+            for t in threads {
+                push_varint(&mut out, *t as u64);
+            }
+        }
+        push_varint(&mut out, self.forced.len() as u64);
+        for (t, icount, parked, lock) in &self.forced {
+            push_varint(&mut out, *t as u64);
+            push_varint(&mut out, *icount);
+            out.push(*parked as u8);
+            push_varint(&mut out, lock.0 as u64);
+        }
+        push_varint(&mut out, self.sync_log_entries);
+        push_varint(&mut out, self.input_log_entries);
+        out
+    }
+
+    /// Parse a buffer produced by [`ReplayLogs::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad magic,
+    /// unsupported version, or truncation).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ReplayLogs, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != b"CHIM" {
+            return Err("bad magic".into());
+        }
+        let version = r.varint()?;
+        if version != 1 {
+            return Err(format!("unsupported log format version {version}"));
+        }
+        let mut logs = ReplayLogs::default();
+        let n_inputs = r.varint()?;
+        for _ in 0..n_inputs {
+            let t = r.varint()? as u32;
+            let seq = r.varint()?;
+            let len = r.varint()? as usize;
+            let mut data = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                data.push(unzigzag(r.varint()?));
+            }
+            logs.inputs.insert((t, seq), data);
+        }
+        let order_map = |r: &mut Reader| -> Result<BTreeMap<i64, Vec<u32>>, String> {
+            let n = r.varint()?;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let addr = unzigzag(r.varint()?);
+                let len = r.varint()? as usize;
+                let mut v = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    v.push(r.varint()? as u32);
+                }
+                m.insert(addr, v);
+            }
+            Ok(m)
+        };
+        logs.mutex_order = order_map(&mut r)?;
+        logs.cond_order = order_map(&mut r)?;
+        let n = r.varint()? as usize;
+        for _ in 0..n {
+            logs.spawn_order.push(r.varint()? as u32);
+        }
+        let n = r.varint()? as usize;
+        for _ in 0..n {
+            logs.output_order.push(r.varint()? as u32);
+        }
+        let n_weak = r.varint()?;
+        for _ in 0..n_weak {
+            let lock = WeakLockId(r.varint()? as u32);
+            let g = gran_from_code(r.varint()?)?;
+            let len = r.varint()? as usize;
+            let mut v = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                v.push(r.varint()? as u32);
+            }
+            logs.weak_order.insert(lock, v);
+            logs.weak_gran.insert(lock, g);
+        }
+        let n_forced = r.varint()?;
+        for _ in 0..n_forced {
+            let t = r.varint()? as u32;
+            let icount = r.varint()?;
+            let parked = r.take(1)?[0] != 0;
+            let lock = WeakLockId(r.varint()? as u32);
+            logs.forced.push((t, icount, parked, lock));
+        }
+        logs.sync_log_entries = r.varint()?;
+        logs.input_log_entries = r.varint()?;
+        Ok(logs)
+    }
+}
+
+fn gran_code(g: LockGranularity) -> u64 {
+    match g {
+        LockGranularity::Function => 0,
+        LockGranularity::Loop => 1,
+        LockGranularity::BasicBlock => 2,
+        LockGranularity::Instruction => 3,
+    }
+}
+
+fn gran_from_code(c: u64) -> Result<LockGranularity, String> {
+    Ok(match c {
+        0 => LockGranularity::Function,
+        1 => LockGranularity::Loop,
+        2 => LockGranularity::BasicBlock,
+        3 => LockGranularity::Instruction,
+        other => return Err(format!("bad granularity code {other}")),
+    })
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err("truncated log".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.take(1)?[0];
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err("varint overflow".into());
+            }
+        }
+    }
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// ZigZag-encode a signed value for varint packing.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// LEB128 varint.
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Estimate the gzip-compressed size of `bytes`: a run-length pre-pass
+/// (gzip's LZ77 collapses runs) followed by the order-0 Shannon entropy
+/// bound of the residual, plus a small header constant.
+pub fn compressed_estimate(bytes: &[u8]) -> usize {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // RLE pre-pass: (byte, run-length<=255) pairs.
+    let mut rle = Vec::with_capacity(bytes.len() / 2);
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let mut run = 1usize;
+        while i + run < bytes.len() && bytes[i + run] == b && run < 255 {
+            run += 1;
+        }
+        rle.push(b);
+        rle.push(run as u8);
+        i += run;
+    }
+    // Order-0 entropy of the RLE stream.
+    let mut freq = [0u64; 256];
+    for &b in &rle {
+        freq[b as usize] += 1;
+    }
+    let n = rle.len() as f64;
+    let mut bits = 0.0;
+    for &f in freq.iter() {
+        if f > 0 {
+            let p = f as f64 / n;
+            bits += -(p.log2()) * f as f64;
+        }
+    }
+    (bits / 8.0).ceil() as usize + 18 // gzip header/trailer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_small_and_large() {
+        let mut out = Vec::new();
+        push_varint(&mut out, 0);
+        push_varint(&mut out, 127);
+        push_varint(&mut out, 128);
+        push_varint(&mut out, u64::MAX);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[1], 127);
+        assert_eq!(out[2] & 0x80, 0x80);
+        assert_eq!(out.len(), 1 + 1 + 2 + 10);
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn compressed_estimate_compresses_runs() {
+        let uniform = vec![7u8; 10_000];
+        let est = compressed_estimate(&uniform);
+        assert!(est < 500, "run of one byte must compress well, got {est}");
+        // Pseudo-random bytes compress poorly.
+        let noisy: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert!(compressed_estimate(&noisy) > est * 10);
+    }
+
+    #[test]
+    fn empty_log_sizes_are_zero() {
+        let logs = ReplayLogs::default();
+        let (i, _o) = logs.compressed_sizes();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn weak_entries_split_by_granularity() {
+        let mut logs = ReplayLogs::default();
+        logs.weak_order.insert(WeakLockId(0), vec![0, 1, 0]);
+        logs.weak_order.insert(WeakLockId(1), vec![1]);
+        logs.weak_gran.insert(WeakLockId(0), LockGranularity::Loop);
+        logs.weak_gran
+            .insert(WeakLockId(1), LockGranularity::Function);
+        assert_eq!(logs.weak_entries(LockGranularity::Loop), 3);
+        assert_eq!(logs.weak_entries(LockGranularity::Function), 1);
+        assert_eq!(logs.weak_entries(LockGranularity::BasicBlock), 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut logs = ReplayLogs::default();
+        logs.inputs.insert((0, 0), vec![5, -3, 1 << 40]);
+        logs.inputs.insert((2, 7), vec![]);
+        logs.mutex_order.insert(-9, vec![0, 1, 0, 2]);
+        logs.cond_order.insert(44, vec![3]);
+        logs.spawn_order = vec![0, 0, 1];
+        logs.output_order = vec![2, 0];
+        logs.weak_order.insert(WeakLockId(5), vec![1, 2]);
+        logs.weak_gran.insert(WeakLockId(5), LockGranularity::Loop);
+        logs.forced.push((1, 999, true, WeakLockId(5)));
+        logs.sync_log_entries = 17;
+        logs.input_log_entries = 3;
+        let bytes = logs.to_bytes();
+        let back = ReplayLogs::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, logs);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(ReplayLogs::from_bytes(b"NOPE....").is_err());
+        assert!(ReplayLogs::from_bytes(b"CH").is_err());
+        let mut ok = ReplayLogs::default().to_bytes();
+        ok.truncate(5);
+        // Truncated buffers must error, not panic.
+        let _ = ReplayLogs::from_bytes(&ok);
+    }
+
+    #[test]
+    fn unzigzag_inverts_zigzag() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_logs() -> impl Strategy<Value = ReplayLogs> {
+            let inputs = proptest::collection::btree_map(
+                (0u32..8, 0u64..64),
+                proptest::collection::vec(any::<i64>(), 0..16),
+                0..6,
+            );
+            let order = || {
+                proptest::collection::btree_map(
+                    any::<i64>(),
+                    proptest::collection::vec(0u32..8, 0..12),
+                    0..4,
+                )
+            };
+            let weak = proptest::collection::btree_map(
+                (0u32..16).prop_map(WeakLockId),
+                proptest::collection::vec(0u32..8, 0..12),
+                0..4,
+            );
+            let forced = proptest::collection::vec(
+                (0u32..8, any::<u64>(), any::<bool>(), (0u32..16).prop_map(WeakLockId)),
+                0..5,
+            );
+            (inputs, order(), order(), weak, forced, any::<u64>(), any::<u64>()).prop_map(
+                |(inputs, mutex_order, cond_order, weak_order, forced, s, i)| {
+                    let weak_gran = weak_order
+                        .keys()
+                        .map(|l| (*l, LockGranularity::Loop))
+                        .collect();
+                    ReplayLogs {
+                        inputs,
+                        mutex_order,
+                        cond_order,
+                        spawn_order: vec![0, 0],
+                        output_order: vec![1],
+                        weak_order,
+                        weak_gran,
+                        forced,
+                        sync_log_entries: s,
+                        input_log_entries: i,
+                    }
+                },
+            )
+        }
+
+        proptest! {
+            /// Arbitrary logs survive a serialize/parse round trip.
+            #[test]
+            fn to_bytes_from_bytes_round_trips(logs in arb_logs()) {
+                let back = ReplayLogs::from_bytes(&logs.to_bytes()).expect("valid buffer");
+                prop_assert_eq!(back, logs);
+            }
+
+            /// Random byte soup never panics the parser.
+            #[test]
+            fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = ReplayLogs::from_bytes(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_includes_all_inputs() {
+        let mut logs = ReplayLogs::default();
+        logs.inputs.insert((0, 0), vec![1, 2, 3]);
+        logs.inputs.insert((1, 0), vec![250; 100]);
+        let bytes = logs.encode_input_log();
+        assert!(bytes.len() > 100);
+        assert_eq!(logs.input_words(), 103);
+    }
+}

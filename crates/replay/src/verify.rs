@@ -1,0 +1,112 @@
+//! The determinism verifier: did a replay reproduce the recording?
+
+use chimera_runtime::ExecResult;
+
+/// Outcome of comparing two executions for observable equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// True if all checks passed.
+    pub equivalent: bool,
+    /// One line per failed check.
+    pub differences: Vec<String>,
+}
+
+impl DeterminismReport {
+    fn ok() -> DeterminismReport {
+        DeterminismReport {
+            equivalent: true,
+            differences: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, what: impl Into<String>) {
+        self.equivalent = false;
+        self.differences.push(what.into());
+    }
+}
+
+/// Compare a recording and a replay for observable equivalence: same
+/// outcome class, same final live memory, and the same output — both the
+/// global commit order and each thread's projection.
+pub fn verify_determinism(recorded: &ExecResult, replayed: &ExecResult) -> DeterminismReport {
+    let mut report = DeterminismReport::ok();
+    if recorded.outcome != replayed.outcome {
+        report.push(format!(
+            "outcome differs: recorded {:?}, replayed {:?}",
+            recorded.outcome, replayed.outcome
+        ));
+    }
+    if recorded.state_hash != replayed.state_hash {
+        report.push(format!(
+            "final memory differs: {:#x} vs {:#x}",
+            recorded.state_hash, replayed.state_hash
+        ));
+    }
+    if recorded.output != replayed.output {
+        let n = recorded
+            .output
+            .iter()
+            .zip(&replayed.output)
+            .take_while(|(a, b)| a == b)
+            .count();
+        report.push(format!(
+            "output differs from element {n}: recorded {} values, replayed {}",
+            recorded.output.len(),
+            replayed.output.len()
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record;
+    use crate::replayer::replay;
+    use chimera_minic::compile;
+    use chimera_runtime::ExecConfig;
+
+    #[test]
+    fn identical_runs_verify() {
+        let p = compile("int main() { print(1); print(2); return 0; }").unwrap();
+        let a = chimera_runtime::execute(&p, &ExecConfig::default());
+        let b = chimera_runtime::execute(&p, &ExecConfig::default());
+        assert!(verify_determinism(&a, &b).equivalent);
+    }
+
+    #[test]
+    fn detects_output_difference() {
+        let p1 = compile("int main() { print(1); return 0; }").unwrap();
+        let p2 = compile("int main() { print(2); return 0; }").unwrap();
+        let a = chimera_runtime::execute(&p1, &ExecConfig::default());
+        let b = chimera_runtime::execute(&p2, &ExecConfig::default());
+        let rep = verify_determinism(&a, &b);
+        assert!(!rep.equivalent);
+        assert!(rep.differences.iter().any(|d| d.contains("output")));
+    }
+
+    #[test]
+    fn record_replay_of_synchronized_program_verifies() {
+        let src = "int g; lock_t m; barrier_t b;
+             void w(int n) {
+                lock(&m); g = g + n; unlock(&m);
+                barrier_wait(&b);
+                lock(&m); g = g * 2; unlock(&m);
+             }
+             int main() { int t1; int t2;
+                barrier_init(&b, 2);
+                t1 = spawn(w, 3); t2 = spawn(w, 5);
+                join(t1); join(t2); print(g); return 0; }";
+        let p = compile(src).unwrap();
+        for seed in [1u64, 17, 99] {
+            let rec = record(&p, &ExecConfig { seed, ..ExecConfig::default() });
+            let rep = replay(
+                &p,
+                &rec.logs,
+                &ExecConfig { seed: seed ^ 0xffff, ..ExecConfig::default() },
+            );
+            let v = verify_determinism(&rec.result, &rep.result);
+            assert!(v.equivalent, "seed {seed}: {:?}", v.differences);
+        }
+    }
+}

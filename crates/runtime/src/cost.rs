@@ -1,0 +1,100 @@
+//! The virtual-time cost model.
+//!
+//! The original Chimera measured wall-clock overhead on an 8-core Xeon. Our
+//! substrate is a virtual machine, so "time" is virtual cycles: every
+//! instruction, synchronization operation, log write, and I/O wait advances
+//! a thread's clock by a configurable amount. Overheads are then ratios of
+//! *makespans* (maximum thread clock at exit), which reproduces the paper's
+//! numbers in shape: costs of instrumentation scale with dynamic counts, and
+//! lost parallelism shows up as contention wait.
+
+/// Virtual-cycle costs for each event class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Plain ALU / control instruction.
+    pub instr: u64,
+    /// Memory access (load/store), on top of `instr`.
+    pub mem: u64,
+    /// Program synchronization operation (lock, unlock, barrier, cond).
+    pub sync_op: u64,
+    /// Executing one weak-lock acquire or release (the instrumentation
+    /// itself, excluding logging).
+    pub weak_op: u64,
+    /// Evaluating a loop-lock's address-range bounds at runtime.
+    pub range_check: u64,
+    /// Appending one record to a log (recording mode only).
+    pub log_write: u64,
+    /// Reading one record from a log (replay mode only).
+    pub log_read: u64,
+    /// Function call / return bookkeeping.
+    pub call: u64,
+    /// Creating a thread.
+    pub spawn: u64,
+    /// Base cost of a system call, excluding I/O latency.
+    pub syscall: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            instr: 1,
+            mem: 1,
+            sync_op: 40,
+            weak_op: 30,
+            range_check: 8,
+            log_write: 60,
+            log_read: 6,
+            call: 4,
+            spawn: 400,
+            syscall: 60,
+        }
+    }
+}
+
+/// Random timing jitter, the source of scheduling nondeterminism between
+/// runs with different seeds (standing in for cache misses, interrupts, and
+/// preemptions on real hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jitter {
+    /// Apply jitter to roughly one in `period` instructions (0 disables).
+    pub period: u64,
+    /// Maximum extra cycles added when jitter fires.
+    pub magnitude: u64,
+}
+
+impl Default for Jitter {
+    fn default() -> Self {
+        Jitter {
+            period: 64,
+            magnitude: 48,
+        }
+    }
+}
+
+impl Jitter {
+    /// Jitter disabled entirely.
+    pub fn none() -> Jitter {
+        Jitter {
+            period: 0,
+            magnitude: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        assert!(c.instr >= 1);
+        assert!(c.sync_op > c.instr);
+        assert!(c.log_write > 0);
+    }
+
+    #[test]
+    fn jitter_none_disables() {
+        assert_eq!(Jitter::none().period, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Execution events and the supervisor interface that the record/replay
+//! layer (and the profiler) plug into.
+
+use chimera_minic::ir::{FuncId, LockGranularity, WeakLockId};
+
+/// Dense thread identifier, assigned in spawn order (main is thread 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// What kind of program synchronization an ordering event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SyncKind {
+    /// Mutex acquisition.
+    Mutex,
+    /// Barrier epoch release.
+    Barrier,
+    /// Condition-variable wakeup delivery.
+    Cond,
+    /// Thread join completion.
+    Join,
+    /// Thread creation.
+    Spawn,
+}
+
+/// An observable event emitted by the machine, in commit order.
+#[allow(missing_docs)] // fields are documented by the variant docs
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A function activation began.
+    FuncEnter {
+        thread: ThreadId,
+        func: FuncId,
+        time: u64,
+    },
+    /// A function activation ended.
+    FuncExit {
+        thread: ThreadId,
+        func: FuncId,
+        time: u64,
+    },
+    /// A program synchronization operation committed. `addr` identifies the
+    /// sync object (its cell address); `seq` is the per-object sequence
+    /// number — together they encode the happens-before order the recorder
+    /// logs.
+    Sync {
+        thread: ThreadId,
+        kind: SyncKind,
+        addr: i64,
+        seq: u64,
+        time: u64,
+    },
+    /// A weak-lock was acquired (`seq` orders acquisitions per lock).
+    WeakAcquire {
+        thread: ThreadId,
+        lock: WeakLockId,
+        granularity: LockGranularity,
+        range: Option<(i64, i64)>,
+        seq: u64,
+        time: u64,
+    },
+    /// A weak-lock was released normally.
+    WeakRelease {
+        thread: ThreadId,
+        lock: WeakLockId,
+        time: u64,
+    },
+    /// The kernel forcibly preempted `holder` (at retired-instruction count
+    /// `icount`) and made it release `lock` so a timed-out waiter can make
+    /// progress (paper §2.3). The holder must reacquire before resuming.
+    WeakForcedRelease {
+        lock: WeakLockId,
+        holder: ThreadId,
+        icount: u64,
+        /// True if the holder was parked in a blocking wait (condvar,
+        /// mutex, barrier, join) when preempted. Replay needs this to
+        /// disambiguate the preemption point: the same instruction count
+        /// occurs both before and inside a blocking wait.
+        parked: bool,
+        time: u64,
+    },
+    /// Nondeterministic input was consumed (one `sys_read`/`sys_input`).
+    Input {
+        thread: ThreadId,
+        chan: i64,
+        data: Vec<i64>,
+        time: u64,
+    },
+    /// Program output (print / sys_write payload).
+    Output { thread: ThreadId, data: Vec<i64> },
+    /// A thread was created.
+    Spawned {
+        parent: ThreadId,
+        child: ThreadId,
+        func: FuncId,
+        time: u64,
+    },
+    /// A thread ran to completion.
+    Exited { thread: ThreadId, time: u64 },
+}
+
+/// A point whose global order the replayer must be able to enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OrderPoint {
+    /// Acquisition of the program mutex at this address.
+    Mutex(i64),
+    /// Receipt of a condition-variable wakeup on this address.
+    Cond(i64),
+    /// Acquisition of this weak-lock.
+    Weak(WeakLockId),
+    /// Creation of a thread (global spawn order; determines thread ids).
+    Spawn,
+    /// An output system call (`sys_write`/`print`): the kernel arbitrates
+    /// the order of output syscalls, so the recorder logs and the replayer
+    /// enforces it.
+    Output,
+}
+
+/// The supervisor: observes events, gates ordering points, supplies input,
+/// and injects forced weak-lock releases.
+///
+/// The default implementations make a no-op supervisor suitable for plain
+/// execution. `chimera-replay` implements recording and replaying
+/// supervisors; `chimera-profile` implements an observing one.
+pub trait Supervisor {
+    /// Called after every committed event, in commit order.
+    fn on_event(&mut self, _ev: &Event) {}
+
+    /// May `thread` commit the next operation at `point` now? Returning
+    /// `false` stalls the thread; the machine polls again after other
+    /// ordering events commit. A replayer returns `true` only when the
+    /// recorded log says it is this thread's turn.
+    fn may_proceed(&mut self, _point: OrderPoint, _thread: ThreadId) -> bool {
+        true
+    }
+
+    /// Supply the data for a nondeterministic input request, or `None` to
+    /// let the machine's simulated input source generate it. A replayer
+    /// returns the recorded payload.
+    fn input_override(
+        &mut self,
+        _thread: ThreadId,
+        _chan: i64,
+        _len: usize,
+    ) -> Option<Vec<i64>> {
+        None
+    }
+
+    /// If the recorded execution forcibly released a weak-lock held by
+    /// `thread` at retired-instruction count `icount` (and with the same
+    /// parked/running state), return it so the machine replays the
+    /// preemption at exactly that point.
+    fn forced_release_at(
+        &mut self,
+        _thread: ThreadId,
+        _icount: u64,
+        _parked: bool,
+    ) -> Option<WeakLockId> {
+        None
+    }
+}
+
+/// The trivial supervisor: no recording, no enforcement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSupervisor;
+
+impl Supervisor for NullSupervisor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_supervisor_permits_everything() {
+        let mut s = NullSupervisor;
+        assert!(s.may_proceed(OrderPoint::Spawn, ThreadId(0)));
+        assert!(s.input_override(ThreadId(0), 0, 4).is_none());
+        assert!(s.forced_release_at(ThreadId(0), 10, false).is_none());
+    }
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+    }
+}

@@ -1,0 +1,78 @@
+//! Execution statistics — the raw numbers behind Table 2 and Figures 5–8.
+
+use chimera_minic::ir::LockGranularity;
+use std::collections::BTreeMap;
+
+/// Counters and timing accumulated over one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired (all kinds).
+    pub instrs: u64,
+    /// Dynamic memory operations (loads + stores).
+    pub mem_ops: u64,
+    /// Program synchronization operations committed (lock/unlock, barrier
+    /// releases, cond wakeups, spawns, joins).
+    pub sync_ops: u64,
+    /// System calls executed (`sys_read` / `sys_input` / `sys_write`).
+    pub syscalls: u64,
+    /// Input words consumed.
+    pub input_words: u64,
+    /// Weak-lock acquisitions by granularity.
+    pub weak_acquires: BTreeMap<LockGranularity, u64>,
+    /// Cycles spent blocked waiting on weak-locks, by granularity
+    /// (contention cost, Fig. 7).
+    pub weak_wait: BTreeMap<LockGranularity, u64>,
+    /// Cycles spent on weak-lock log writes, by granularity (logging cost,
+    /// Fig. 7).
+    pub weak_log_cycles: BTreeMap<LockGranularity, u64>,
+    /// Cycles spent blocked on program synchronization.
+    pub sync_wait: u64,
+    /// Cycles spent waiting for I/O.
+    pub io_wait: u64,
+    /// Forced weak-lock releases (timeouts), paper §2.3.
+    pub forced_releases: u64,
+    /// Threads created (including main).
+    pub threads: u64,
+}
+
+impl ExecStats {
+    /// Total weak-lock acquisitions across granularities.
+    pub fn total_weak_acquires(&self) -> u64 {
+        self.weak_acquires.values().sum()
+    }
+
+    /// Weak-lock operations as a fraction of dynamic memory operations
+    /// (Fig. 6's y-axis).
+    pub fn weak_op_fraction(&self) -> f64 {
+        if self.mem_ops == 0 {
+            return 0.0;
+        }
+        self.total_weak_acquires() as f64 / self.mem_ops as f64
+    }
+
+    /// Bump a per-granularity counter.
+    pub fn bump(map: &mut BTreeMap<LockGranularity, u64>, g: LockGranularity, by: u64) {
+        *map.entry(g).or_insert(0) += by;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_fraction_handles_zero() {
+        let s = ExecStats::default();
+        assert_eq!(s.weak_op_fraction(), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_across_granularities() {
+        let mut s = ExecStats::default();
+        ExecStats::bump(&mut s.weak_acquires, LockGranularity::Loop, 3);
+        ExecStats::bump(&mut s.weak_acquires, LockGranularity::Function, 4);
+        s.mem_ops = 70;
+        assert_eq!(s.total_weak_acquires(), 7);
+        assert!((s.weak_op_fraction() - 0.1).abs() < 1e-12);
+    }
+}

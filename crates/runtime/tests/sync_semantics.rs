@@ -1,0 +1,219 @@
+//! Integration tests for the virtual machine's synchronization semantics:
+//! condvar broadcast, barrier reuse, join chains, mutex fairness, and the
+//! interactions a recorder depends on.
+
+use chimera_minic::compile;
+use chimera_runtime::{execute, ExecConfig, Outcome, ThreadId};
+
+fn run(src: &str) -> chimera_runtime::ExecResult {
+    let p = compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    execute(&p, &ExecConfig::default())
+}
+
+#[test]
+fn broadcast_wakes_every_waiter() {
+    let r = run(
+        "int ready; int woken; lock_t m; cond_t c;
+         void waiter(int id) {
+             lock(&m);
+             while (ready == 0) { cond_wait(&c, &m); }
+             woken = woken + 1;
+             unlock(&m);
+         }
+         int main() {
+             int t1; int t2; int t3;
+             t1 = spawn(waiter, 1);
+             t2 = spawn(waiter, 2);
+             t3 = spawn(waiter, 3);
+             // Give the waiters time to park.
+             int i; int s; s = 0;
+             for (i = 0; i < 500; i = i + 1) { s = s + i; }
+             lock(&m); ready = 1; cond_broadcast(&c); unlock(&m);
+             join(t1); join(t2); join(t3);
+             print(woken);
+             return 0;
+         }",
+    );
+    assert!(r.outcome.is_exit(), "{:?}", r.outcome);
+    assert_eq!(r.output_of(ThreadId(0)), vec![3]);
+}
+
+#[test]
+fn signal_wakes_exactly_one_at_a_time() {
+    let r = run(
+        "int tokens; int consumed; lock_t m; cond_t c;
+         void consumer(int id) {
+             lock(&m);
+             while (tokens == 0) { cond_wait(&c, &m); }
+             tokens = tokens - 1;
+             consumed = consumed + 1;
+             unlock(&m);
+         }
+         int main() {
+             int t1; int t2; int i; int s;
+             t1 = spawn(consumer, 1);
+             t2 = spawn(consumer, 2);
+             for (i = 0; i < 300; i = i + 1) { s = s + i; }
+             lock(&m); tokens = tokens + 1; cond_signal(&c); unlock(&m);
+             for (i = 0; i < 300; i = i + 1) { s = s + i; }
+             lock(&m); tokens = tokens + 1; cond_signal(&c); unlock(&m);
+             join(t1); join(t2);
+             print(consumed);
+             print(tokens);
+             return 0;
+         }",
+    );
+    assert!(r.outcome.is_exit(), "{:?}", r.outcome);
+    assert_eq!(r.output_of(ThreadId(0)), vec![2, 0]);
+}
+
+#[test]
+fn barrier_is_reusable_across_epochs() {
+    let r = run(
+        "int phase_sum[3]; barrier_t b; lock_t m;
+         void w(int id) {
+             int e;
+             for (e = 0; e < 3; e = e + 1) {
+                 lock(&m);
+                 phase_sum[e] = phase_sum[e] + 1;
+                 unlock(&m);
+                 barrier_wait(&b);
+             }
+         }
+         int main() {
+             int t1; int t2; int ok; int e;
+             barrier_init(&b, 3);
+             t1 = spawn(w, 1);
+             t2 = spawn(w, 2);
+             w(0);
+             join(t1); join(t2);
+             ok = 1;
+             for (e = 0; e < 3; e = e + 1) {
+                 if (phase_sum[e] != 3) { ok = 0; }
+             }
+             print(ok);
+             return 0;
+         }",
+    );
+    assert!(r.outcome.is_exit(), "{:?}", r.outcome);
+    assert_eq!(r.output_of(ThreadId(0)), vec![1]);
+}
+
+#[test]
+fn join_chain_propagates_results_through_memory() {
+    let r = run(
+        "int stage1; int stage2;
+         void b(int v) { stage2 = stage1 * v; }
+         void a(int v) {
+             int t;
+             stage1 = v + 1;
+             t = spawn(b, 10);
+             join(t);
+         }
+         int main() {
+             int t;
+             t = spawn(a, 4);
+             join(t);
+             print(stage2);
+             return 0;
+         }",
+    );
+    assert_eq!(r.output_of(ThreadId(0)), vec![50]);
+}
+
+#[test]
+fn mutex_serializes_critical_sections_exactly() {
+    // With K threads each adding N under a lock, no update is lost.
+    let r = run(
+        "int counter; lock_t m;
+         void w(int n) {
+             int i;
+             for (i = 0; i < 100; i = i + 1) {
+                 lock(&m);
+                 counter = counter + 1;
+                 unlock(&m);
+             }
+         }
+         int main() {
+             int tids[4]; int i;
+             for (i = 0; i < 4; i = i + 1) { tids[i] = spawn(w, i); }
+             for (i = 0; i < 4; i = i + 1) { join(tids[i]); }
+             print(counter);
+             return 0;
+         }",
+    );
+    assert_eq!(r.output_of(ThreadId(0)), vec![400]);
+}
+
+#[test]
+fn barrier_count_mismatch_deadlocks_detectably() {
+    // Only 2 arrivals at a 3-party barrier: the machine must report a
+    // deadlock rather than hang.
+    let p = compile(
+        "barrier_t b;
+         void w(int id) { barrier_wait(&b); }
+         int main() {
+             int t;
+             barrier_init(&b, 3);
+             t = spawn(w, 1);
+             barrier_wait(&b);
+             join(t);
+             return 0;
+         }",
+    )
+    .unwrap();
+    let r = execute(&p, &ExecConfig::default());
+    assert!(
+        matches!(r.outcome, Outcome::Deadlock { .. }),
+        "{:?}",
+        r.outcome
+    );
+}
+
+#[test]
+fn many_threads_scale_structurally() {
+    let r = run(
+        "int acc[16];
+         void w(int id) { int i; for (i = 0; i < 50; i = i + 1) { acc[id] = acc[id] + 1; } }
+         int main() {
+             int tids[16]; int i; int total;
+             for (i = 0; i < 16; i = i + 1) { tids[i] = spawn(w, i); }
+             for (i = 0; i < 16; i = i + 1) { join(tids[i]); }
+             total = 0;
+             for (i = 0; i < 16; i = i + 1) { total = total + acc[i]; }
+             print(total);
+             return 0;
+         }",
+    );
+    assert_eq!(r.output_of(ThreadId(0)), vec![800]);
+    assert_eq!(r.stats.threads, 17);
+}
+
+#[test]
+fn sync_wait_is_accounted() {
+    let r = run(
+        "int g; lock_t m;
+         void hog(int n) {
+             int i;
+             lock(&m);
+             for (i = 0; i < 2000; i = i + 1) { g = g + 1; }
+             unlock(&m);
+         }
+         int main() {
+             int t;
+             t = spawn(hog, 0);
+             // Burn a little, then contend on the lock the hog holds.
+             int i; int s;
+             for (i = 0; i < 50; i = i + 1) { s = s + i; }
+             lock(&m); g = g + 1; unlock(&m);
+             join(t);
+             return 0;
+         }",
+    );
+    assert!(r.outcome.is_exit());
+    assert!(
+        r.stats.sync_wait > 1000,
+        "main must have waited on the hog: {}",
+        r.stats.sync_wait
+    );
+}

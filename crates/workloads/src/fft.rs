@@ -1,0 +1,132 @@
+//! `fft` — the SPLASH-2 FFT kernel's communication pattern.
+//!
+//! Butterfly stages combine each element with a partner at `j ^ stride`.
+//! The XOR is arithmetic the symbolic bounds analysis does not model
+//! (§5.2), so the partner reads get `±∞` bounds and the stage loops
+//! serialize under a range-less loop-lock — which is why fft keeps a high
+//! recording overhead dominated by loop-lock contention in the paper
+//! (Fig. 7), growing with thread count (Fig. 8). The bit-reversal copy
+//! phase, by contrast, has precise partitioned bounds.
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// fft: butterfly stages with xor partners (SPLASH-2).
+int data[@N@];
+int scratch[@N@];
+int checksum[@W@];
+barrier_t stage;
+
+void butterfly(int id) {
+    int s; int j; int partner; int start; int stop; int stride;
+    start = id * @CHUNK@;
+    stop = start + @CHUNK@;
+    stride = 1;
+    for (s = 0; s < @STAGES@; s = s + 1) {
+        for (j = start; j < stop; j = j + 1) {
+            partner = j ^ stride;
+            scratch[j] = data[j] + data[partner];
+        }
+        barrier_wait(&stage);
+        // Copy back: precise partitioned bounds.
+        for (j = start; j < stop; j = j + 1) {
+            data[j] = scratch[j] / 2;
+        }
+        barrier_wait(&stage);
+        stride = stride * 2;
+        if (stride >= @N@) { stride = 1; }
+    }
+    checksum[id] = data[start];
+}
+
+int main() {
+    int i; int v; int sum;
+    int tids[@W@];
+    v = sys_input(0);
+    for (i = 0; i < @N@; i = i + 1) {
+        v = v * 48271 + 13;
+        if (v < 0) { v = 0 - v; }
+        data[i] = v % 512;
+    }
+    barrier_init(&stage, @W@);
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(butterfly, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    sum = 0;
+    for (i = 0; i < @W@; i = i + 1) {
+        sum = sum + checksum[i];
+    }
+    // Inverse-check flavor of the evaluation input: fold the whole array.
+    for (i = 0; i < @N@; i = i + 1) {
+        sum = sum + data[i];
+    }
+    print(sum);
+    return 0;
+}
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    // Power-of-two chunk so xor partners stay in range.
+    let chunk = 16i64;
+    let n = (p.workers.next_power_of_two() as i64) * chunk;
+    fill(
+        TEMPLATE,
+        &[
+            ("N", n),
+            ("W", w),
+            ("CHUNK", n / w),
+            ("STAGES", 2 + p.scale as i64 / 2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+
+    #[test]
+    fn runs_for_2_4_8_workers() {
+        for w in [2, 4, 8] {
+            let src = source(&Params {
+                workers: w,
+                scale: 3,
+            });
+            let r = run_source(&src);
+            assert_eq!(r.output.len(), 1, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn xor_partner_access_has_top_bounds() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        let prof = chimera_profile::profile_runs(
+            &p,
+            &chimera_runtime::ExecConfig::default(),
+            &[1],
+        );
+        let plan = chimera_instrument::plan(
+            &p,
+            &races,
+            &prof,
+            &chimera_instrument::OptSet::all(),
+        );
+        // At least one loop-lock must be range-less (the xor partner read).
+        let rangeless = plan
+            .loop_locks
+            .values()
+            .flatten()
+            .filter(|s| s.range.is_none())
+            .count();
+        assert!(rangeless > 0, "{:?}", plan.loop_locks);
+    }
+}

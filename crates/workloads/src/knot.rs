@@ -1,0 +1,118 @@
+//! `knot` — a small threaded web server.
+//!
+//! A fixed pool of workers each serves a stream of requests from its own
+//! network channel: read the request, look the path up in a shared cache,
+//! build a response in a partitioned buffer, and send it. Per-worker
+//! statistics are partitioned (false races with precise bounds); cache
+//! updates go through a real lock. Heavy network latency makes recording
+//! nearly free, as in the paper.
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// knot: threaded web server with per-worker connections.
+int cache_tag[@CSLOTS@];
+int cache_val[@CSLOTS@];
+lock_t cache_lock;
+int served[@W@];
+int bytes_out[@W@];
+int resp[@RESPALL@];
+
+void server(int id) {
+    int r; int i; int path; int slot; int val; int hit; int rbase;
+    int req[@REQ@];
+    rbase = id * @RESP@;
+    for (r = 0; r < @REQS@; r = r + 1) {
+        sys_read(@NETCH@ + id, &req[0], @REQ@);
+        // "Parse": fold the request words into a path id.
+        path = 0;
+        for (i = 0; i < @REQ@; i = i + 1) {
+            path = path + req[i];
+        }
+        path = path % 64;
+        if (path < 0) { path = 0 - path; }
+        slot = path % @CSLOTS@;
+        // Cache lookup; misses compute and fill under the lock.
+        lock(&cache_lock);
+        hit = 0;
+        if (cache_tag[slot] == path + 1) {
+            val = cache_val[slot];
+            hit = 1;
+        }
+        if (hit == 0) {
+            val = path * 37 + 11;
+            cache_tag[slot] = path + 1;
+            cache_val[slot] = val;
+        }
+        unlock(&cache_lock);
+        // Build the response in our partition.
+        for (i = 0; i < @RESP@; i = i + 1) {
+            resp[rbase + i] = val + i;
+        }
+        sys_write(@NETCH@ + id, &resp[rbase], @RESP@);
+        served[id] += 1;
+        bytes_out[id] += @RESP@;
+    }
+}
+
+int main() {
+    int i; int total;
+    int tids[@W@];
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(server, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    total = 0;
+    for (i = 0; i < @W@; i = i + 1) {
+        total = total + served[i];
+    }
+    print(total);
+    return 0;
+}
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    let resp = 12i64;
+    fill(
+        TEMPLATE,
+        &[
+            ("W", w),
+            ("REQ", 6),
+            ("REQS", p.scale as i64),
+            ("RESP", resp),
+            ("RESPALL", w * resp),
+            ("CSLOTS", 16),
+            ("NETCH", 1000),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+    use chimera_runtime::ThreadId;
+
+    #[test]
+    fn serves_all_requests() {
+        let src = source(&Params {
+            workers: 4,
+            scale: 3,
+        });
+        let r = run_source(&src);
+        assert_eq!(r.output_of(ThreadId(0)), vec![12]);
+    }
+
+    #[test]
+    fn network_wait_dominates() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 4,
+        });
+        let r = run_source(&src);
+        assert!(r.stats.io_wait * 2 > r.makespan);
+    }
+}

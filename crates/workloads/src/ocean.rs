@@ -1,0 +1,152 @@
+//! `ocean` — the SPLASH-2 grid relaxation kernel.
+//!
+//! Workers own horizontal bands of a 2D grid and alternate between two
+//! arrays (`red` reads / `black` writes, then swapped) with a barrier
+//! between half-steps. The inner column loop has precise symbolic bounds
+//! (one row), but boundary rows are read by *neighboring* workers too, so
+//! the per-row loop-lock ranges of adjacent workers overlap — the residual
+//! loop-lock contention that dominates ocean's recording overhead in the
+//! paper's Figure 7.
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// ocean: banded red/black grid relaxation (SPLASH-2).
+int red[@CELLS@];
+int black[@CELLS@];
+int residual[@W@];
+barrier_t half_step;
+
+void relax_band(int id) {
+    int it; int r; int c; int base; int up; int down; int acc;
+    int r0; int r1;
+    r0 = 1 + id * @BAND@;
+    r1 = r0 + @BAND@;
+    for (it = 0; it < @ITERS@; it = it + 1) {
+        // Read red, write black.
+        acc = 0;
+        for (r = r0; r < r1; r = r + 1) {
+            base = r * @COLS@;
+            up = base - @COLS@;
+            down = base + @COLS@;
+            for (c = 1; c < @COLSM1@; c = c + 1) {
+                black[base + c] = (red[up + c] + red[down + c]
+                    + red[base + c - 1] + red[base + c + 1]) / 4;
+                acc = acc + black[base + c];
+            }
+        }
+        residual[id] = acc;
+        barrier_wait(&half_step);
+        // Read black, write red.
+        for (r = r0; r < r1; r = r + 1) {
+            base = r * @COLS@;
+            up = base - @COLS@;
+            down = base + @COLS@;
+            for (c = 1; c < @COLSM1@; c = c + 1) {
+                red[base + c] = (black[up + c] + black[down + c]
+                    + black[base + c - 1] + black[base + c + 1]) / 4;
+            }
+        }
+        barrier_wait(&half_step);
+    }
+}
+
+int main() {
+    int i; int v; int sum;
+    int tids[@W@];
+    v = sys_input(0);
+    for (i = 0; i < @CELLS@; i = i + 1) {
+        v = v * 1103515245 + 12345;
+        if (v < 0) { v = 0 - v; }
+        red[i] = v % 256;
+        black[i] = 0;
+    }
+    barrier_init(&half_step, @W@);
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(relax_band, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    sum = 0;
+    for (i = 0; i < @W@; i = i + 1) {
+        sum = sum + residual[i];
+    }
+    print(sum);
+    print(red[@COLS@ + 1]);
+    return 0;
+}
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    let band = 2; // rows per worker
+    let rows = w * band + 2; // plus halo rows top/bottom
+    let cols = 4 + 2 * p.scale as i64;
+    fill(
+        TEMPLATE,
+        &[
+            ("W", w),
+            ("BAND", band),
+            ("COLS", cols),
+            ("COLSM1", cols - 1),
+            ("CELLS", rows * cols),
+            ("ITERS", 1 + p.scale as i64 / 2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+
+    #[test]
+    fn runs_to_completion() {
+        let src = source(&Params {
+            workers: 4,
+            scale: 3,
+        });
+        let r = run_source(&src);
+        assert_eq!(r.output.len(), 2);
+    }
+
+    #[test]
+    fn neighbor_band_reads_are_reported_racy() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        assert!(!races.pairs.is_empty());
+    }
+
+    #[test]
+    fn loop_locks_get_precise_row_ranges() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        let prof = chimera_profile::profile_runs(
+            &p,
+            &chimera_runtime::ExecConfig::default(),
+            &[1, 2],
+        );
+        let plan = chimera_instrument::plan(
+            &p,
+            &races,
+            &prof,
+            &chimera_instrument::OptSet::all(),
+        );
+        let ranged = plan
+            .loop_locks
+            .values()
+            .flatten()
+            .filter(|s| s.range.is_some())
+            .count();
+        assert!(ranged > 0, "inner column loops must get ranged loop-locks");
+    }
+}

@@ -1,0 +1,155 @@
+//! `pbzip2` — a parallel block compressor.
+//!
+//! Faithful to the real tool's structure: the main thread reads the input
+//! file into a shared buffer; each worker copies its block into *private*
+//! scratch, runs the compute-heavy transform passes there (standing in for
+//! BWT + MTF + Huffman), and publishes the compressed result into its
+//! partition of the shared output with one affine copy loop. All shared
+//! accesses therefore have precise symbolic bounds, so Chimera covers the
+//! false races (fork/join-ordered fill, partitioned publish) with ranged
+//! loop-locks at near-zero cost — the paper reports 1.02x for pbzip2.
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// pbzip2: parallel block compression (local transform + RLE publish).
+int input[@IN@];
+int out_blocks[@OUT@];
+int out_len[@W@];
+
+void compress_block(int id) {
+    int scratch[@BLOCK@];
+    int packed[@OBLOCK@];
+    int i; int w; int crc; int start; int obase; int cur; int run;
+    start = id * @BLOCK@;
+    obase = id * @OBLOCK@;
+    // Copy the block in: shared reads with precise bounds.
+    for (i = 0; i < @BLOCK@; i = i + 1) {
+        scratch[i] = input[start + i];
+    }
+    // Transform passes over private data (the compute that dominates
+    // real bzip2; invisible to the race detector because scratch never
+    // escapes this frame).
+    crc = 0;
+    for (i = 0; i < @BLOCK@; i = i + 1) {
+        crc = (crc * 31 + scratch[i]) % 65521;
+        scratch[i] = (scratch[i] + (crc & 7)) % 256;
+    }
+    for (i = 1; i < @BLOCK@; i = i + 1) {
+        scratch[i] = (scratch[i] + scratch[i - 1]) % 256;
+    }
+    for (i = 0; i < @BLOCK@; i = i + 1) {
+        scratch[i] = scratch[i] / 64;
+    }
+    // Run-length encode into private output.
+    w = 0;
+    cur = scratch[0];
+    run = 1;
+    for (i = 1; i < @BLOCK@; i = i + 1) {
+        if (scratch[i] == cur) {
+            run = run + 1;
+        } else {
+            packed[w] = cur;
+            packed[w + 1] = run;
+            w = w + 2;
+            cur = scratch[i];
+            run = 1;
+        }
+    }
+    packed[w] = cur;
+    packed[w + 1] = run;
+    w = w + 2;
+    // Publish: one affine copy into our shared partition (precise bounds).
+    for (i = 0; i < w; i = i + 1) {
+        out_blocks[obase + i] = packed[i];
+    }
+    out_len[id] = w;
+}
+
+int main() {
+    int i; int b; int total;
+    int tids[@W@];
+    // Read the input file in slices (the paper's 16 MB file, scaled).
+    for (b = 0; b < @W@; b = b + 1) {
+        sys_read(3, &input[b * @BLOCK@], @BLOCK@);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(compress_block, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    // Ordered writer: emit each block's compressed words.
+    total = 0;
+    for (b = 0; b < @W@; b = b + 1) {
+        sys_write(1, &out_blocks[b * @OBLOCK@], out_len[b]);
+        total = total + out_len[b];
+    }
+    print(total);
+    return 0;
+}
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    let block = 24 * p.scale as i64;
+    // RLE worst case doubles the size.
+    let oblock = 2 * block + 2;
+    fill(
+        TEMPLATE,
+        &[
+            ("W", w),
+            ("BLOCK", block),
+            ("OBLOCK", oblock),
+            ("IN", w * block),
+            ("OUT", w * oblock),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+    use chimera_runtime::ThreadId;
+
+    #[test]
+    fn compresses_all_blocks() {
+        let src = source(&Params {
+            workers: 4,
+            scale: 2,
+        });
+        let r = run_source(&src);
+        let out = r.output_of(ThreadId(0));
+        let total = *out.last().unwrap();
+        assert!(total >= 4 * 2, "at least one run per block");
+        assert!(total <= 4 * (2 * 24 * 2 + 2));
+    }
+
+    #[test]
+    fn shared_accesses_all_have_precise_bounds() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        assert!(!races.pairs.is_empty());
+        let prof = chimera_profile::profile_runs(
+            &p,
+            &chimera_runtime::ExecConfig::default(),
+            &[1, 2],
+        );
+        let plan = chimera_instrument::plan(
+            &p,
+            &races,
+            &prof,
+            &chimera_instrument::OptSet::all(),
+        );
+        // The hot shared accesses (block copy-in, publish) coarsen to
+        // ranged loop locks; only the writer's out_len reads (in a block
+        // with a syscall) may stay at instruction granularity.
+        assert!(plan.stats.sides_loop >= 1, "{:?}", plan.stats);
+        assert!(plan.stats.sides_instr <= 2, "{:?}", plan.stats);
+    }
+}

@@ -1,0 +1,140 @@
+//! `radix` — the SPLASH-2 radix-sort ranking kernel, the paper's Figure 4
+//! example.
+//!
+//! Each worker zeroes its slice of a partitioned `rank_all` array (precise
+//! symbolic bounds — a loop-lock with a range), then builds a histogram
+//! with a *data-dependent* index `keys[j] & 15` (bounds are `-INF..+INF`,
+//! so the loop-lock guards all addresses and the histogram loops
+//! serialize, exactly as instrumented in Fig. 4 lines 8–13), merges under
+//! a real lock, crosses a barrier, and runs a counting pass over its own
+//! key partition (precise bounds again).
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// radix: parallel radix-sort ranking phase (SPLASH-2).
+int keys[@N@];
+int rank_all[@WR@];
+int global_rank[16];
+int out_count[@W@];
+lock_t merge_lock;
+barrier_t phase;
+
+void fill_keys(int seed) {
+    int i; int v;
+    v = seed + 1;
+    for (i = 0; i < @N@; i = i + 1) {
+        v = v * 1103515245 + 12345;
+        if (v < 0) { v = 0 - v; }
+        v = v % 65536;
+        keys[i] = v;
+    }
+}
+
+void slave_sort(int id) {
+    int j; int my_key;
+    int start; int stop;
+    int *rank; int *key_from;
+    start = id * @CHUNK@;
+    stop = start + @CHUNK@;
+    rank = &rank_all[id * 16];
+    key_from = &keys[0];
+    // Zero my rank array: precise bounds [&rank[0], &rank[15]].
+    for (j = 0; j < 16; j = j + 1) {
+        rank[j] = 0;
+    }
+    // Histogram: rank[my_key] has unknown bounds (-INF..+INF).
+    for (j = start; j < stop; j = j + 1) {
+        my_key = key_from[j] & 15;
+        rank[my_key] = rank[my_key] + 1;
+    }
+    // Merge into the global ranks under the program's own lock.
+    lock(&merge_lock);
+    for (j = 0; j < 16; j = j + 1) {
+        global_rank[j] = global_rank[j] + rank[j];
+    }
+    unlock(&merge_lock);
+    barrier_wait(&phase);
+    // Counting pass over my own partition: precise bounds.
+    for (j = start; j < stop; j = j + 1) {
+        if (keys[j] < 32768) {
+            out_count[id] = out_count[id] + 1;
+        }
+    }
+}
+
+int main() {
+    int i; int total; int low;
+    int tids[@W@];
+    barrier_init(&phase, @W@);
+    fill_keys(sys_input(0));
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(slave_sort, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    total = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        total = total + global_rank[i];
+    }
+    // Sanity check (the paper's evaluation input enables it): the global
+    // histogram must account for every key, and the low-half counts must
+    // not exceed the total.
+    low = 0;
+    for (i = 0; i < @W@; i = i + 1) {
+        low = low + out_count[i];
+    }
+    if (total != @N@) { print(0 - 1); }
+    if (low > total) { print(0 - 2); }
+    print(total);
+    print(low);
+    return 0;
+}
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    let chunk = 32 * p.scale as i64;
+    let n = w * chunk;
+    fill(
+        TEMPLATE,
+        &[("N", n), ("W", w), ("WR", w * 16), ("CHUNK", chunk)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+    use chimera_runtime::ThreadId;
+
+    #[test]
+    fn runs_and_accounts_for_every_key() {
+        let src = source(&Params {
+            workers: 4,
+            scale: 3,
+        });
+        let r = run_source(&src);
+        let out = r.output_of(ThreadId(0));
+        assert_eq!(out[0], 4 * 32 * 3, "histogram total = key count");
+        assert!(out[1] <= out[0]);
+    }
+
+    #[test]
+    fn has_the_expected_false_races() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        assert!(
+            !races.pairs.is_empty(),
+            "partitioned rank arrays must be reported racy"
+        );
+        // The histogram store must race with itself across workers.
+        let self_pairs = races.pairs.iter().filter(|p| p.a == p.b).count();
+        assert!(self_pairs > 0, "expected self race-pairs");
+    }
+}

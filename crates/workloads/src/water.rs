@@ -1,0 +1,209 @@
+//! `water` — the SPLASH-2 molecular dynamics kernel, source of the paper's
+//! Figure 2 false race.
+//!
+//! Each timestep has barrier-separated phases. Two *serial* phases
+//! (`predic`, `correc`) run on worker 0 only, scatter-updating shared
+//! arrays through a permutation index (symbolic bounds are `±∞`); RELAY
+//! cannot see the barrier order, so it reports races between them — but
+//! profiling observes them non-concurrent, so they share one clique
+//! function-lock (the paper's function-granularity win for water). The
+//! parallel force phase updates partitioned slices (precise loop-lock
+//! bounds) and reads all positions, and a global energy reduction uses a
+//! real mutex.
+
+use crate::{fill, Params};
+
+const TEMPLATE: &str = r#"
+// water: barrier-phased molecular dynamics (SPLASH-2).
+int pos[@M@];
+int vel[@M@];
+int forces[@M@];
+int perm[@M@];
+int energy;
+lock_t energy_lock;
+barrier_t tick;
+
+// Serial predictor: scatter write through perm[] (bounds unknown).
+// Runs only on worker 0 between barriers; falsely racy with correc().
+void predic(int step) {
+    int i; int k;
+    for (i = 0; i < @M@; i = i + 1) {
+        k = perm[i];
+        vel[k] = vel[k] + forces[k] / 16;
+        pos[k] = pos[k] + vel[k] / 8 + step;
+    }
+}
+
+// Serial corrector: another scatter pass over the same arrays.
+void correc(int step) {
+    int i; int k;
+    for (i = 0; i < @M@; i = i + 1) {
+        k = perm[@M@ - 1 - i];
+        vel[k] = vel[k] - step;
+        forces[k] = forces[k] / 2;
+    }
+}
+
+// Parallel force phase: each worker writes its own slice and reads all
+// positions. The inner smoothing passes are the O(M^2)-flavored compute
+// that dominates real water. A leaf function, so profiling sees phases as
+// code regions — the paper's interf/bndry structure (Fig. 2).
+void force_phase(int id) {
+    int i; int sum; int start; int stop; int acc; int k;
+    start = id * @CHUNK@;
+    stop = start + @CHUNK@;
+    sum = 0;
+    for (i = start; i < stop; i = i + 1) {
+        acc = 0;
+        for (k = 0; k < 8; k = k + 1) {
+            acc = acc + (pos[i] * (k + 3)) / (k + 1) - (acc >> 2);
+        }
+        forces[i] = forces[i] + (acc + pos[i] - pos[@M@ - 1 - i]) / 4;
+        sum = sum + forces[i];
+    }
+    lock(&energy_lock);
+    energy = energy + sum;
+    unlock(&energy_lock);
+}
+
+void worker(int id) {
+    int s;
+    for (s = 0; s < @STEPS@; s = s + 1) {
+        if (id == 0) {
+            predic(s);
+        }
+        barrier_wait(&tick);
+        force_phase(id);
+        barrier_wait(&tick);
+        if (id == 0) {
+            correc(s);
+        }
+        barrier_wait(&tick);
+    }
+}
+
+// Initialization: writes every shared array before any thread exists.
+// RELAY reports false races between this and every phase (fork/join
+// happens-before is invisible to it) — the paper's canonical function-lock
+// case.
+void init_system(int seed) {
+    int i; int v;
+    v = seed;
+    for (i = 0; i < @M@; i = i + 1) {
+        v = v * 75 + 74;
+        if (v < 0) { v = 0 - v; }
+        pos[i] = v % 1000;
+        vel[i] = (v / 7) % 100;
+        // A valid permutation keeps every scatter in-bounds.
+        perm[i] = @M@ - 1 - i;
+    }
+}
+
+// Final reporting: runs after every join; racy with the phases only
+// through fork/join happens-before that RELAY ignores.
+void report(int unused) {
+    print(energy);
+    print(pos[0]);
+}
+
+int main() {
+    int i;
+    int tids[@W@];
+    init_system(sys_input(0));
+    barrier_init(&tick, @W@);
+    for (i = 0; i < @W@; i = i + 1) {
+        tids[i] = spawn(worker, i);
+    }
+    for (i = 0; i < @W@; i = i + 1) {
+        join(tids[i]);
+    }
+    report(0);
+    return 0;
+}
+
+"#;
+
+pub(crate) fn source(p: &Params) -> String {
+    let w = p.workers as i64;
+    let chunk = 8 * p.scale as i64;
+    let m = w * chunk;
+    fill(
+        TEMPLATE,
+        &[
+            ("M", m),
+            ("W", w),
+            ("CHUNK", chunk),
+            ("STEPS", 2 + p.scale as i64 / 2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_source;
+
+    #[test]
+    fn runs_to_completion() {
+        let src = source(&Params {
+            workers: 4,
+            scale: 2,
+        });
+        let r = run_source(&src);
+        assert_eq!(r.output.len(), 2);
+    }
+
+    #[test]
+    fn predic_correc_false_race_exists_and_profiles_non_concurrent() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        let predic = p.func_by_name("predic").unwrap().id;
+        let correc = p.func_by_name("correc").unwrap().id;
+        let fpairs = races.racy_function_pairs(&p);
+        assert!(
+            fpairs.contains(&(predic.min(correc), predic.max(correc))),
+            "RELAY must falsely report predic/correc (barriers ignored): {fpairs:?}"
+        );
+        let prof = chimera_profile::profile_runs(
+            &p,
+            &chimera_runtime::ExecConfig::default(),
+            &[1, 2, 3],
+        );
+        assert!(
+            prof.likely_non_concurrent("predic", "correc"),
+            "barrier separation must be observable"
+        );
+        assert!(prof.likely_non_concurrent("predic", "predic"));
+    }
+
+    #[test]
+    fn function_locks_cover_the_phase_pair() {
+        let src = source(&Params {
+            workers: 2,
+            scale: 2,
+        });
+        let p = chimera_minic::compile(&src).unwrap();
+        let races = chimera_relay::detect_races(&p);
+        let prof = chimera_profile::profile_runs(
+            &p,
+            &chimera_runtime::ExecConfig::default(),
+            &[1, 2, 3],
+        );
+        let plan = chimera_instrument::plan(
+            &p,
+            &races,
+            &prof,
+            &chimera_instrument::OptSet::all(),
+        );
+        let predic = p.func_by_name("predic").unwrap().id;
+        assert!(
+            plan.func_locks.contains_key(&predic),
+            "predic should carry a clique function-lock: {:?}",
+            plan.func_locks
+        );
+    }
+}

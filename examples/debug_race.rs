@@ -1,0 +1,123 @@
+//! The debugging story from the paper's introduction: a rare concurrency
+//! bug manifests only under some schedules. Without Chimera, re-running
+//! the program cannot reproduce it; with Chimera, the one recording that
+//! caught the bug replays it exactly, every time.
+//!
+//! The bug here is an atomicity violation: a "check-then-act" on a shared
+//! balance that can be interleaved, driving the balance negative.
+//!
+//! ```text
+//! cargo run --example debug_race
+//! ```
+
+use chimera::{analyze, PipelineConfig};
+use chimera_minic::compile;
+use chimera_replay::{record, replay};
+use chimera_runtime::{ExecConfig, ThreadId};
+
+const BANK: &str = r#"
+    int balance;
+    int overdrafts;
+    int audit_log[64];
+    int audit_pos;
+    // Audit every attempt (the call between check and act keeps Chimera's
+    // weak-locks at instruction granularity here, so the racy interleaving
+    // window stays open — coarser regions would mask the bug, paper 2.4).
+    int audit_fee(int amount) {
+        if (audit_pos < 64) {
+            audit_log[audit_pos] = amount;
+            audit_pos = audit_pos + 1;
+        }
+        return 0;
+    }
+    void withdraw_loop(int amount) {
+        int i; int ok; int fee; int think; int j;
+        for (i = 0; i < 40; i = i + 1) {
+            // Irregular, input-dependent think time (network/user delay):
+            // this is what makes the bug timing-dependent and rare.
+            think = sys_input(7) % 24;
+            fee = 0;
+            for (j = 0; j < think; j = j + 1) { fee = fee + j - j; }
+            // check...
+            ok = 0;
+            if (balance >= amount) { ok = 1; }
+            fee = fee + audit_fee(amount);
+            // ...then act (not atomic: another thread can slip in between)
+            if (ok == 1) {
+                balance = balance - amount - fee;
+            }
+            if (balance < 0) {
+                overdrafts = overdrafts + 1;
+                balance = 0;
+            }
+        }
+    }
+    int main() {
+        int t1; int t2;
+        balance = 60;
+        t1 = spawn(withdraw_loop, 7);
+        t2 = spawn(withdraw_loop, 5);
+        join(t1);
+        join(t2);
+        print(balance);
+        print(overdrafts);
+        return 0;
+    }
+"#;
+
+fn main() {
+    let program = compile(BANK).expect("valid MiniC");
+    let analysis = analyze(&program, &PipelineConfig::default());
+    println!(
+        "RELAY reports {} race pairs; {} weak-locks inserted",
+        analysis.races.pairs.len(),
+        analysis.instrumented.weak_locks
+    );
+
+    // Hunt for a recording in which the bug (an overdraft) manifests.
+    let mut buggy = None;
+    for seed in 0..200u64 {
+        let rec = record(
+            &analysis.instrumented,
+            &ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            },
+        );
+        let out = rec.result.output_of(ThreadId(0));
+        if out.len() == 2 && out[1] > 0 {
+            println!("seed {seed}: bug manifested (overdrafts = {})", out[1]);
+            buggy = Some((seed, rec));
+            break;
+        }
+    }
+    let Some((seed, recording)) = buggy else {
+        println!("the bug did not manifest in 200 recorded runs — rerun me");
+        return;
+    };
+
+    // Now the payoff: replay that one buggy recording five times, under
+    // five different timing seeds. Every replay reproduces the bug.
+    println!("replaying the buggy recording 5 times:");
+    for replay_seed in [1u64, 99, 1234, 9999, 424242] {
+        let rep = replay(
+            &analysis.instrumented,
+            &recording.logs,
+            &ExecConfig {
+                seed: replay_seed,
+                ..ExecConfig::default()
+            },
+        );
+        let out = rep.result.output_of(ThreadId(0));
+        println!(
+            "  replay(seed={replay_seed:>6}): balance={} overdrafts={} complete={}",
+            out[0], out[1], rep.complete
+        );
+        assert_eq!(
+            out,
+            recording.result.output_of(ThreadId(0)),
+            "replay diverged from the buggy recording"
+        );
+    }
+    println!("bug from recording seed {seed} reproduced deterministically 5/5 times");
+}

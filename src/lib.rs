@@ -1,0 +1,8 @@
+//! Umbrella crate for the Chimera reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests under
+//! `tests/` and the runnable examples under `examples/`. All functionality
+//! lives in the member crates; the [`chimera`] facade crate is the public
+//! entry point for downstream users.
+
+pub use chimera;

@@ -1,0 +1,148 @@
+//! Workspace-level integration tests: the full Chimera pipeline over every
+//! benchmark workload.
+//!
+//! The property under test is the paper's core guarantee: for *any*
+//! program (racy or not), the Chimera-instrumented version records an
+//! execution whose replay — under different timing — reproduces the
+//! recording exactly.
+
+use chimera::{analyze_workload, measure, OptSet};
+use chimera_runtime::ExecConfig;
+use chimera_workloads::all;
+
+/// Every workload, 2 workers, all optimizations: record then replay under
+/// a different seed; outputs and final memory must match.
+#[test]
+fn all_workloads_replay_deterministically_with_all_opts() {
+    let exec = ExecConfig::default();
+    for w in all() {
+        let analysis = analyze_workload(&w, 2, &OptSet::all(), 3, &exec);
+        let m = measure(&analysis, &exec, 7);
+        assert!(
+            m.recording.result.outcome.is_exit(),
+            "{}: recording did not exit: {:?}",
+            w.name,
+            m.recording.result.outcome
+        );
+        assert!(m.deterministic, "{}: replay diverged", w.name);
+    }
+}
+
+/// The same guarantee must hold for the *naive* instrumentation (every
+/// race at instruction granularity) — the optimizations must not be what
+/// correctness depends on.
+#[test]
+fn workloads_replay_deterministically_with_naive_opts() {
+    let exec = ExecConfig::default();
+    for w in all().into_iter().filter(|w| {
+        // Keep the slowest naive configurations out of the default test
+        // run; the bench harness covers them.
+        ["radix", "water", "pfscan"].contains(&w.name)
+    }) {
+        let analysis = analyze_workload(&w, 2, &OptSet::naive(), 3, &exec);
+        let m = measure(&analysis, &exec, 3);
+        assert!(m.deterministic, "{}: naive replay diverged", w.name);
+    }
+}
+
+/// Instrumentation must not change program results: for the deterministic
+/// parts of each workload's output (computed values, not timing), the
+/// instrumented program agrees with the original when both run race-free
+/// schedules. We check the two workloads whose outputs are
+/// schedule-independent by construction.
+#[test]
+fn instrumentation_preserves_results() {
+    let exec = ExecConfig::default();
+    for name in ["radix", "pbzip2"] {
+        let w = chimera_workloads::by_name(name).unwrap();
+        let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+        let base = chimera_runtime::execute(&analysis.program, &exec);
+        let inst = chimera_runtime::execute(&analysis.instrumented, &exec);
+        assert!(base.outcome.is_exit() && inst.outcome.is_exit());
+        assert_eq!(
+            base.output_of(chimera_runtime::ThreadId(0)),
+            inst.output_of(chimera_runtime::ThreadId(0)),
+            "{name}: instrumented program computed different results"
+        );
+    }
+}
+
+/// Replay of I/O-bound workloads is faster than recording (the paper's
+/// aget/knot/apache observation: recorded input is fed without waiting).
+#[test]
+fn network_workloads_replay_faster_than_recording() {
+    let exec = ExecConfig::default();
+    for name in ["aget", "knot"] {
+        let w = chimera_workloads::by_name(name).unwrap();
+        let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+        let m = measure(&analysis, &exec, 11);
+        assert!(m.deterministic, "{name}");
+        assert!(
+            m.replay.result.makespan < m.recording.result.makespan / 2,
+            "{name}: replay {} should be well under recording {}",
+            m.replay.result.makespan,
+            m.recording.result.makespan
+        );
+    }
+}
+
+/// 2, 4, and 8 workers all work (Figure 8's sweep is meaningful).
+#[test]
+fn worker_counts_two_four_eight() {
+    let exec = ExecConfig::default();
+    let w = chimera_workloads::by_name("fft").unwrap();
+    for workers in [2, 4, 8] {
+        let analysis = analyze_workload(&w, workers, &OptSet::all(), 2, &exec);
+        let m = measure(&analysis, &exec, 5);
+        assert!(m.deterministic, "fft at {workers} workers diverged");
+    }
+}
+
+/// Logs survive a trip through their on-disk byte format: record, encode,
+/// decode, replay from the decoded logs.
+#[test]
+fn replay_from_persisted_log_bytes() {
+    let exec = ExecConfig::default();
+    let w = chimera_workloads::by_name("radix").unwrap();
+    let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
+    let rec = chimera_replay::record(
+        &analysis.instrumented,
+        &ExecConfig {
+            seed: 21,
+            ..exec.clone()
+        },
+    );
+    let bytes = rec.logs.to_bytes();
+    let decoded = chimera_replay::ReplayLogs::from_bytes(&bytes).expect("decodable");
+    assert_eq!(decoded, rec.logs);
+    let rep = chimera_replay::replay(
+        &analysis.instrumented,
+        &decoded,
+        &ExecConfig {
+            seed: 9999,
+            ..exec
+        },
+    );
+    assert!(rep.complete);
+    assert!(chimera_replay::verify_determinism(&rec.result, &rep.result).equivalent);
+}
+
+/// Heavyweight sweep: every workload at 8 workers with 3 recorded trials.
+/// Run explicitly (`cargo test --release -- --ignored`); the default suite
+/// covers 2 workers.
+#[test]
+#[ignore = "slow: full 8-worker sweep; run with --release -- --ignored"]
+fn all_workloads_replay_deterministically_at_8_workers() {
+    let exec = ExecConfig::default();
+    for w in all() {
+        let analysis = analyze_workload(&w, 8, &OptSet::all(), 3, &exec);
+        for seed in [3u64, 17, 90] {
+            let m = measure(&analysis, &exec, seed);
+            assert!(
+                m.deterministic,
+                "{} at 8 workers, seed {seed}: replay diverged",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Generative soundness testing: random racy MiniC programs, run through
+//! the full pipeline, must always replay deterministically.
+//!
+//! This is the reproduction's strongest evidence for the paper's central
+//! claim — the guarantee must hold for *arbitrary* programs, not just the
+//! nine benchmarks. The generator produces terminating multithreaded
+//! programs full of unsynchronized shared accesses (scalar read-modify-
+//! writes, array loops, branch-guarded updates, lock-protected sections),
+//! and the property is checked for every optimization configuration.
+
+use chimera::{analyze, measure, OptSet, PipelineConfig};
+use chimera_minic::compile;
+use chimera_runtime::ExecConfig;
+use proptest::prelude::*;
+
+/// One statement template for a worker body.
+#[derive(Debug, Clone)]
+enum Tmpl {
+    /// `gN = gN + c;`
+    Bump(u8, i8),
+    /// `x = gN; gM = x + c;` — a classic lost-update window.
+    ReadThenWrite(u8, u8, i8),
+    /// `for (i = 0; i < 8; i = i + 1) { arr[i] = arr[i] + gN; }`
+    ArrayLoop(u8),
+    /// `lock(&m); gN = gN + c; unlock(&m);`
+    Locked(u8, i8),
+    /// `if (gN > c) { gM = gM - 1; }`
+    Guarded(u8, u8, i8),
+    /// `arr[gN & 15] = v;` — a data-dependent index (±∞ bounds).
+    Scatter(u8, i8),
+}
+
+fn render_stmt(t: &Tmpl) -> String {
+    match t {
+        Tmpl::Bump(g, c) => format!("g{} = g{} + {};", g % 3, g % 3, c),
+        Tmpl::ReadThenWrite(a, b, c) => format!(
+            "x = g{}; g{} = x + {};",
+            a % 3,
+            b % 3,
+            c
+        ),
+        Tmpl::ArrayLoop(g) => format!(
+            "for (i = 0; i < 8; i = i + 1) {{ arr[i] = arr[i] + g{}; }}",
+            g % 3
+        ),
+        Tmpl::Locked(g, c) => format!(
+            "lock(&m); g{} = g{} + {}; unlock(&m);",
+            g % 3,
+            g % 3,
+            c
+        ),
+        Tmpl::Guarded(a, b, c) => format!(
+            "if (g{} > {}) {{ g{} = g{} - 1; }}",
+            a % 3,
+            c,
+            b % 3,
+            b % 3
+        ),
+        Tmpl::Scatter(g, v) => format!("arr[g{} & 15] = {};", g % 3, v),
+    }
+}
+
+fn render_program(body_a: &[Tmpl], body_b: &[Tmpl], reps: u8, same_fn: bool) -> String {
+    let body = |ts: &[Tmpl]| -> String {
+        ts.iter()
+            .map(|t| format!("        {}\n", render_stmt(t)))
+            .collect::<String>()
+    };
+    let worker_b = if same_fn {
+        String::new()
+    } else {
+        format!(
+            "void wb(int v) {{\n    int r; int i; int x;\n    for (r = 0; r < {reps}; r = r + 1) {{\n{}    }}\n}}\n",
+            body(body_b)
+        )
+    };
+    let spawn_b = if same_fn { "wa" } else { "wb" };
+    format!(
+        "int g0; int g1; int g2;\nint arr[16];\nlock_t m;\n\
+         void wa(int v) {{\n    int r; int i; int x;\n    for (r = 0; r < {reps}; r = r + 1) {{\n{}    }}\n}}\n\
+         {worker_b}\
+         int main() {{\n    int t1; int t2; int i; int s;\n    g0 = 5; g1 = 3; g2 = 9;\n\
+             t1 = spawn(wa, 1);\n    t2 = spawn({spawn_b}, 2);\n    join(t1);\n    join(t2);\n\
+             s = g0 + g1 * 10 + g2 * 100;\n    for (i = 0; i < 16; i = i + 1) {{ s = s + arr[i]; }}\n\
+             print(s);\n    return 0;\n}}\n",
+        body(body_a)
+    )
+}
+
+fn tmpl_strategy() -> impl Strategy<Value = Tmpl> {
+    prop_oneof![
+        (any::<u8>(), -3i8..=3).prop_map(|(g, c)| Tmpl::Bump(g, c)),
+        (any::<u8>(), any::<u8>(), -3i8..=3).prop_map(|(a, b, c)| Tmpl::ReadThenWrite(a, b, c)),
+        any::<u8>().prop_map(Tmpl::ArrayLoop),
+        (any::<u8>(), -3i8..=3).prop_map(|(g, c)| Tmpl::Locked(g, c)),
+        (any::<u8>(), any::<u8>(), 0i8..=9).prop_map(|(a, b, c)| Tmpl::Guarded(a, b, c)),
+        (any::<u8>(), -5i8..=5).prop_map(|(g, v)| Tmpl::Scatter(g, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // Scaled up in validation sweeps via PROPTEST_CASES.
+        cases: std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(24),
+        ..ProptestConfig::default()
+    })]
+
+    /// Any generated racy program, under any optimization set, records and
+    /// replays identically across different timing seeds.
+    #[test]
+    fn generated_programs_replay_deterministically(
+        body_a in proptest::collection::vec(tmpl_strategy(), 2..6),
+        body_b in proptest::collection::vec(tmpl_strategy(), 2..6),
+        reps in 2u8..8,
+        same_fn in any::<bool>(),
+        opt_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let src = render_program(&body_a, &body_b, reps, same_fn);
+        let program = compile(&src).expect("generated source is valid MiniC");
+        let opts = [OptSet::naive(), OptSet::func_only(), OptSet::loop_only(), OptSet::all()]
+            [opt_idx].clone();
+        let cfg = PipelineConfig {
+            opts,
+            profile_seeds: vec![1, 2],
+            exec: ExecConfig::default(),
+        };
+        let analysis = analyze(&program, &cfg);
+        let m = measure(&analysis, &ExecConfig::default(), seed);
+        prop_assert!(
+            m.recording.result.outcome.is_exit(),
+            "recording failed: {:?}\n{src}",
+            m.recording.result.outcome
+        );
+        prop_assert!(m.deterministic, "replay diverged for:\n{src}");
+    }
+
+    /// The static detector is *sound* on generated programs: every pair of
+    /// dynamic conflicting accesses from different threads must be covered
+    /// by the race report (checked indirectly: instrumenting all reported
+    /// races yields replay determinism — the assertion above — and
+    /// programs whose only shared accesses are lock-protected produce no
+    /// false negatives that break replay). Here we additionally check that
+    /// fully locked programs are reported race-free.
+    #[test]
+    fn fully_locked_generated_programs_are_race_free(
+        gs in proptest::collection::vec((any::<u8>(), -3i8..=3), 2..5),
+        reps in 2u8..6,
+    ) {
+        let body: Vec<Tmpl> = gs.iter().map(|(g, c)| Tmpl::Locked(*g, *c)).collect();
+        let mut src = render_program(&body, &body, reps, true);
+        // Also lock the main-thread initializers and summary reads: a
+        // lockset detector (rightly) reports main's bare accesses.
+        src = src.replace("g0 = 5; g1 = 3; g2 = 9;", "lock(&m); g0 = 5; g1 = 3; g2 = 9; unlock(&m);");
+        src = src.replace("s = g0 + g1 * 10 + g2 * 100;", "lock(&m); s = g0 + g1 * 10 + g2 * 100; unlock(&m);");
+        let program = compile(&src).expect("valid");
+        let races = chimera_relay::detect_races(&program);
+        // arr is untouched in this variant; all g accesses are locked.
+        prop_assert!(
+            races.pairs.is_empty(),
+            "lock-protected program reported racy:\n{}\n{src}",
+            races.describe(&program)
+        );
+    }
+}

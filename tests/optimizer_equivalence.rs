@@ -1,0 +1,58 @@
+//! The IR optimizer must be behavior-preserving: for every workload and a
+//! batch of small programs, the optimized program produces the same
+//! output, final memory, and exit code under the VM.
+
+use chimera_minic::opt::optimize;
+use chimera_runtime::{execute, ExecConfig};
+
+fn assert_equivalent(src: &str) {
+    let base = chimera_minic::compile(src).expect("compiles");
+    let mut opt = base.clone();
+    let _ = optimize(&mut opt);
+    let exec = ExecConfig::default();
+    let a = execute(&base, &exec);
+    let b = execute(&opt, &exec);
+    assert_eq!(a.outcome, b.outcome, "{src}");
+    assert_eq!(a.output, b.output, "{src}");
+    assert_eq!(a.state_hash, b.state_hash, "{src}");
+    assert!(
+        b.stats.instrs <= a.stats.instrs,
+        "optimizer must not add work"
+    );
+}
+
+#[test]
+fn optimizer_preserves_workload_behavior() {
+    for w in chimera_workloads::all() {
+        let src = w.source(&w.eval_params(2));
+        assert_equivalent(&src);
+    }
+}
+
+#[test]
+fn optimizer_preserves_small_program_behavior() {
+    for src in [
+        "int main() { int x; x = 2 + 3 * 4 - 1; print(x); return x; }",
+        "int a[8]; int main() { int i; for (i = 0; i < 4 + 4; i++) { a[i] = i * (1 + 1); }
+         print(a[7]); return 0; }",
+        "int main() { if (2 > 1) { print(1); } else { print(0); } return 0; }",
+        "int g; lock_t m;
+         void w(int v) { lock(&m); g += v * 1; unlock(&m); }
+         int main() { int t; t = spawn(w, 2 + 3); w(0 * 9 + 4); join(t);
+                      lock(&m); print(g); unlock(&m); return 0; }",
+        "struct p { int x; int y; }; struct p s;
+         int main() { s.x = 3 * 3; s.y = s.x + 0 * 5; print(s.y); return 0; }",
+    ] {
+        assert_equivalent(src);
+    }
+}
+
+#[test]
+fn optimizer_shrinks_workload_code() {
+    let mut shrunk = 0;
+    for w in chimera_workloads::all() {
+        let mut p = w.compile(&w.eval_params(2)).unwrap();
+        shrunk += optimize(&mut p);
+    }
+    assert!(shrunk > 0, "the workloads contain foldable arithmetic");
+}
