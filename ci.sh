@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Hermetic CI for the Chimera reproduction.
+#
+# Everything runs --offline against the committed Cargo.lock: the build
+# must succeed on a machine that has never talked to crates.io, because
+# the workspace depends on nothing outside itself. The final check makes
+# that hermeticity an invariant rather than an accident.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== build benches (offline) =="
+cargo build --offline --benches
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "== dependency purity =="
+# Every node in the full dependency graph (normal, dev, and build deps)
+# must be a workspace-local chimera-* crate. `cargo tree` also emits
+# section headers like [dev-dependencies] and blank lines; anything else
+# is a third-party crate sneaking back in.
+impure=$(cargo tree --offline --workspace -e normal,dev,build --prefix none \
+    | sed 's/ (\*)$//' \
+    | grep -v '^chimera' \
+    | grep -v '^\[' \
+    | grep -v '^$' || true)
+if [ -n "$impure" ]; then
+    echo "non-workspace dependencies found:" >&2
+    echo "$impure" >&2
+    exit 1
+fi
+echo "dependency graph is workspace-only"
+
+echo "CI OK"

@@ -1,4 +1,4 @@
-//! Criterion benches for the ablation studies (DESIGN.md §5):
+//! Benches for the ablation studies (DESIGN.md §5):
 //!
 //! * `baseline_leap` — recording under the LEAP-style baseline vs Chimera
 //!   on the same workload (the paper's related-work comparison, §8).
@@ -6,6 +6,9 @@
 //!   different weak-lock timeout thresholds.
 //! * `pta_precision` — race detection with Steensgaard vs Andersen
 //!   aliasing (§3.3's second imprecision source).
+//!
+//! Runs as a plain binary on `chimera-testkit`'s bench runner:
+//! `cargo bench --bench ablations [filter]`.
 
 use chimera::{analyze_workload, OptSet};
 use chimera_instrument::{apply, plan_leap_baseline};
@@ -14,24 +17,22 @@ use chimera_minic::diag::Span;
 use chimera_minic::ir::{Instr, LockGranularity, Terminator, WeakLockId};
 use chimera_replay::record;
 use chimera_runtime::ExecConfig;
+use chimera_testkit::bench::Runner;
 use chimera_workloads::by_name;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_baseline_leap(c: &mut Criterion) {
+fn bench_baseline_leap(runner: &mut Runner) {
     let exec = ExecConfig::default();
-    let mut group = c.benchmark_group("baseline_leap");
+    let mut group = runner.group("baseline_leap");
     group.sample_size(10);
     for name in ["radix", "apache"] {
         let w = by_name(name).expect("workload exists");
         let chimera = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
         let leap = apply(&chimera.program, &plan_leap_baseline(&chimera.program));
-        group.bench_with_input(
-            BenchmarkId::new("chimera", name),
-            &chimera.instrumented,
-            |b, p| b.iter(|| record(p, &exec)),
-        );
-        group.bench_with_input(BenchmarkId::new("leap", name), &leap, |b, p| {
-            b.iter(|| record(p, &exec))
+        group.bench(&format!("chimera/{name}"), || {
+            record(&chimera.instrumented, &exec);
+        });
+        group.bench(&format!("leap/{name}"), || {
+            record(&leap, &exec);
         });
     }
     group.finish();
@@ -83,43 +84,41 @@ fn deadlocky_program() -> chimera_minic::ir::Program {
     p
 }
 
-fn bench_timeout_sweep(c: &mut Criterion) {
+fn bench_timeout_sweep(runner: &mut Runner) {
     let p = deadlocky_program();
-    let mut group = c.benchmark_group("timeout_sweep");
+    let mut group = runner.group("timeout_sweep");
     group.sample_size(20);
     for timeout in [1_000u64, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(timeout), &timeout, |b, &t| {
-            b.iter(|| {
-                chimera_runtime::execute(
-                    &p,
-                    &ExecConfig {
-                        weak_timeout: t,
-                        ..ExecConfig::default()
-                    },
-                )
-            })
+        group.bench(&timeout.to_string(), || {
+            chimera_runtime::execute(
+                &p,
+                &ExecConfig {
+                    weak_timeout: timeout,
+                    ..ExecConfig::default()
+                },
+            );
         });
     }
     group.finish();
 }
 
-fn bench_pta_precision(c: &mut Criterion) {
+fn bench_pta_precision(runner: &mut Runner) {
     let w = by_name("water").expect("water exists");
     let p = w.compile(&w.eval_params(4)).unwrap();
-    let mut group = c.benchmark_group("pta_precision");
-    group.bench_function("detect_steensgaard", |b| {
-        b.iter(|| chimera_relay::detect_races(&p))
+    let mut group = runner.group("pta_precision");
+    group.bench("detect_steensgaard", || {
+        chimera_relay::detect_races(&p);
     });
-    group.bench_function("detect_andersen", |b| {
-        b.iter(|| chimera_relay::detect_races_with_andersen(&p))
+    group.bench("detect_andersen", || {
+        chimera_relay::detect_races_with_andersen(&p);
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_baseline_leap,
-    bench_timeout_sweep,
-    bench_pta_precision
-);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::from_args();
+    bench_baseline_leap(&mut runner);
+    bench_timeout_sweep(&mut runner);
+    bench_pta_precision(&mut runner);
+    runner.finish();
+}

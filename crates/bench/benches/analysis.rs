@@ -1,6 +1,10 @@
-//! Criterion benches for the static side of the pipeline: RELAY-style race
+//! Benches for the static side of the pipeline: RELAY-style race
 //! detection, points-to analyses, symbolic bounds, profiling, and planning
 //! — the costs that §7.1 claims are scalable.
+//!
+//! Runs as a plain binary on `chimera-testkit`'s bench runner:
+//! `cargo bench --bench analysis [filter]`. `CHIMERA_BENCH_SAMPLES` /
+//! `CHIMERA_BENCH_WARMUP` control the iteration counts.
 
 use chimera::OptSet;
 use chimera_minic::cfg::{Cfg, Dominators};
@@ -9,79 +13,81 @@ use chimera_profile::profile_runs;
 use chimera_pta::{Andersen, ObjectTable, Steensgaard};
 use chimera_relay::detect_races;
 use chimera_runtime::ExecConfig;
+use chimera_testkit::bench::Runner;
 use chimera_workloads::{all, by_name};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend_compile");
+fn bench_compile(runner: &mut Runner) {
+    let mut group = runner.group("frontend_compile");
     for w in all() {
         let src = w.source(&w.eval_params(4));
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &src, |b, s| {
-            b.iter(|| chimera_minic::compile(s).expect("valid workload"));
+        group.bench(w.name, || {
+            chimera_minic::compile(&src).expect("valid workload");
         });
     }
     group.finish();
 }
 
-fn bench_points_to(c: &mut Criterion) {
+fn bench_points_to(runner: &mut Runner) {
     let w = by_name("apache").expect("apache exists");
     let p = w.compile(&w.eval_params(4)).unwrap();
     let objects = ObjectTable::build(&p);
-    let mut group = c.benchmark_group("points_to");
-    group.bench_function("andersen", |b| {
-        b.iter(|| Andersen::analyze(&p, &objects));
+    let mut group = runner.group("points_to");
+    group.bench("andersen", || {
+        Andersen::analyze(&p, &objects);
     });
-    group.bench_function("steensgaard", |b| {
-        b.iter(|| Steensgaard::analyze(&p, &objects));
+    group.bench("steensgaard", || {
+        Steensgaard::analyze(&p, &objects);
     });
     group.finish();
 }
 
-fn bench_race_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("relay_detect");
+fn bench_race_detection(runner: &mut Runner) {
+    let mut group = runner.group("relay_detect");
     group.sample_size(20);
     for w in all() {
         let p = w.compile(&w.eval_params(4)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &p, |b, p| {
-            b.iter(|| detect_races(p));
+        group.bench(w.name, || {
+            detect_races(&p);
         });
     }
     group.finish();
 }
 
-fn bench_bounds(c: &mut Criterion) {
+fn bench_bounds(runner: &mut Runner) {
     let w = by_name("radix").expect("radix exists");
     let p = w.compile(&w.eval_params(4)).unwrap();
     let f = p.func_by_name("slave_sort").unwrap();
     let cfg = Cfg::new(f);
     let dom = Dominators::new(f, &cfg);
     let forest = LoopForest::new(f, &cfg, &dom);
-    c.bench_function("symbolic_bounds_slave_sort", |b| {
-        b.iter(|| {
-            for i in 0..forest.loops.len() {
-                let _ = chimera_bounds::loop_access_bounds(f, &forest, i);
-            }
-        });
+    let mut group = runner.group("symbolic_bounds");
+    group.bench("slave_sort", || {
+        for i in 0..forest.loops.len() {
+            let _ = chimera_bounds::loop_access_bounds(f, &forest, i);
+        }
     });
+    group.finish();
 }
 
-fn bench_plan(c: &mut Criterion) {
+fn bench_plan(runner: &mut Runner) {
     let exec = ExecConfig::default();
     let w = by_name("water").expect("water exists");
     let p = w.compile(&w.eval_params(4)).unwrap();
     let races = detect_races(&p);
     let prof = profile_runs(&p, &exec, &[1, 2]);
-    c.bench_function("instrument_plan_water", |b| {
-        b.iter(|| chimera_instrument::plan(&p, &races, &prof, &OptSet::all()));
+    let mut group = runner.group("instrument_plan");
+    group.bench("water", || {
+        chimera_instrument::plan(&p, &races, &prof, &OptSet::all());
     });
+    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_points_to,
-    bench_race_detection,
-    bench_bounds,
-    bench_plan
-);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::from_args();
+    bench_compile(&mut runner);
+    bench_points_to(&mut runner);
+    bench_race_detection(&mut runner);
+    bench_bounds(&mut runner);
+    bench_plan(&mut runner);
+    runner.finish();
+}

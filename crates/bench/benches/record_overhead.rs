@@ -1,4 +1,4 @@
-//! Criterion benches for the dynamic side of the evaluation: recording and
+//! Benches for the dynamic side of the evaluation: recording and
 //! replaying each workload (Table 2 / Figure 5 / Figure 8 inputs).
 //!
 //! One bench group per paper artifact:
@@ -6,48 +6,47 @@
 //! * `table2_replay` — replay each workload from its recording.
 //! * `fig5_configs`  — record `radix` under each optimization set.
 //! * `fig8_workers`  — record `ocean` at 2/4/8 workers.
+//!
+//! Runs as a plain binary on `chimera-testkit`'s bench runner:
+//! `cargo bench --bench record_overhead [filter]`.
 
 use chimera::{analyze_workload, OptSet};
 use chimera_replay::{record, replay};
 use chimera_runtime::ExecConfig;
+use chimera_testkit::bench::Runner;
 use chimera_workloads::{all, by_name};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_table2_record(c: &mut Criterion) {
+fn bench_table2_record(runner: &mut Runner) {
     let exec = ExecConfig::default();
-    let mut group = c.benchmark_group("table2_record");
+    let mut group = runner.group("table2_record");
     group.sample_size(10);
     for w in all() {
         let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &analysis, |b, a| {
-            b.iter(|| record(&a.instrumented, &exec));
+        group.bench(w.name, || {
+            record(&analysis.instrumented, &exec);
         });
     }
     group.finish();
 }
 
-fn bench_table2_replay(c: &mut Criterion) {
+fn bench_table2_replay(runner: &mut Runner) {
     let exec = ExecConfig::default();
-    let mut group = c.benchmark_group("table2_replay");
+    let mut group = runner.group("table2_replay");
     group.sample_size(10);
     for w in all() {
         let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
         let recording = record(&analysis.instrumented, &exec);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(w.name),
-            &(analysis, recording),
-            |b, (a, rec)| {
-                b.iter(|| replay(&a.instrumented, &rec.logs, &exec));
-            },
-        );
+        group.bench(w.name, || {
+            replay(&analysis.instrumented, &recording.logs, &exec);
+        });
     }
     group.finish();
 }
 
-fn bench_fig5_configs(c: &mut Criterion) {
+fn bench_fig5_configs(runner: &mut Runner) {
     let exec = ExecConfig::default();
     let w = by_name("radix").expect("radix exists");
-    let mut group = c.benchmark_group("fig5_configs");
+    let mut group = runner.group("fig5_configs");
     group.sample_size(10);
     for (label, opts) in [
         ("instr", OptSet::naive()),
@@ -56,36 +55,32 @@ fn bench_fig5_configs(c: &mut Criterion) {
         ("all", OptSet::all()),
     ] {
         let analysis = analyze_workload(&w, 2, &opts, 2, &exec);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &analysis, |b, a| {
-            b.iter(|| record(&a.instrumented, &exec));
+        group.bench(label, || {
+            record(&analysis.instrumented, &exec);
         });
     }
     group.finish();
 }
 
-fn bench_fig8_workers(c: &mut Criterion) {
+fn bench_fig8_workers(runner: &mut Runner) {
     let exec = ExecConfig::default();
     let w = by_name("ocean").expect("ocean exists");
-    let mut group = c.benchmark_group("fig8_workers");
+    let mut group = runner.group("fig8_workers");
     group.sample_size(10);
     for workers in [2u32, 4, 8] {
         let analysis = analyze_workload(&w, workers, &OptSet::all(), 2, &exec);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &analysis,
-            |b, a| {
-                b.iter(|| record(&a.instrumented, &exec));
-            },
-        );
+        group.bench(&workers.to_string(), || {
+            record(&analysis.instrumented, &exec);
+        });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table2_record,
-    bench_table2_replay,
-    bench_fig5_configs,
-    bench_fig8_workers
-);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::from_args();
+    bench_table2_record(&mut runner);
+    bench_table2_replay(&mut runner);
+    bench_fig5_configs(&mut runner);
+    bench_fig8_workers(&mut runner);
+    runner.finish();
+}

@@ -23,6 +23,7 @@ use chimera_minic::ir::LockGranularity;
 use chimera_runtime::ExecConfig;
 use chimera_workloads::{all, Workload};
 
+#[derive(Debug)]
 struct Args {
     command: String,
     workers: u32,
@@ -30,28 +31,45 @@ struct Args {
     profile_runs: u32,
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         command: "all".to_string(),
         workers: 4,
         trials: 3,
         profile_runs: 6,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // A flag with a missing or malformed value is an error, not a silent
+    // fall-back to the default: a typo like `--workers eight` must not
+    // quietly produce 4-worker numbers labeled as something else.
+    fn value_of(flag: &str, argv: &[String], i: usize) -> Result<u32, String> {
+        let raw = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let n: u32 = raw
+            .parse()
+            .map_err(|_| format!("{flag}: expected a non-negative integer, got '{raw}'"))?;
+        if n == 0 {
+            return Err(format!("{flag} must be at least 1"));
+        }
+        Ok(n)
+    }
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--workers" => {
-                args.workers = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(4);
+                args.workers = value_of("--workers", argv, i)?;
                 i += 2;
             }
             "--trials" => {
-                args.trials = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(3);
+                args.trials = value_of("--trials", argv, i)?;
                 i += 2;
             }
             "--profile-runs" => {
-                args.profile_runs = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(6);
+                args.profile_runs = value_of("--profile-runs", argv, i)?;
                 i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option '{flag}'"));
             }
             cmd => {
                 args.command = cmd.to_string();
@@ -59,11 +77,19 @@ fn parse_args() -> Args {
             }
         }
     }
-    args
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: tables [COMMAND] [--workers N] [--trials N] [--profile-runs N]");
+            std::process::exit(2);
+        }
+    };
     let exec = ExecConfig::default();
     match args.command.as_str() {
         "table1" => table1(),
@@ -342,4 +368,72 @@ fn sensitivity(exec: &ExecConfig) {
         }
     }
     println!("{}", render_table(&rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.command, "all");
+        assert_eq!((a.workers, a.trials, a.profile_runs), (4, 3, 6));
+    }
+
+    #[test]
+    fn command_and_flags_parse() {
+        let a = parse_args(&argv(&[
+            "table2",
+            "--workers",
+            "8",
+            "--trials",
+            "5",
+            "--profile-runs",
+            "12",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "table2");
+        assert_eq!((a.workers, a.trials, a.profile_runs), (8, 5, 12));
+    }
+
+    #[test]
+    fn flags_may_precede_command() {
+        let a = parse_args(&argv(&["--workers", "2", "fig8"])).unwrap();
+        assert_eq!(a.command, "fig8");
+        assert_eq!(a.workers, 2);
+    }
+
+    #[test]
+    fn malformed_value_is_an_error_not_a_default() {
+        let e = parse_args(&argv(&["--workers", "eight"])).unwrap_err();
+        assert!(e.contains("--workers"), "{e}");
+        assert!(e.contains("eight"), "{e}");
+        let e = parse_args(&argv(&["table2", "--trials", "3.5"])).unwrap_err();
+        assert!(e.contains("--trials"), "{e}");
+        let e = parse_args(&argv(&["--profile-runs", "-1"])).unwrap_err();
+        assert!(e.contains("--profile-runs"), "{e}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = parse_args(&argv(&["--workers"])).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
+    }
+
+    #[test]
+    fn zero_is_rejected() {
+        let e = parse_args(&argv(&["--trials", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let e = parse_args(&argv(&["--worker", "4"])).unwrap_err();
+        assert!(e.contains("--worker"), "{e}");
+    }
 }

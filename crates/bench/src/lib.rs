@@ -1,5 +1,5 @@
 //! Shared helpers for the Chimera benchmark harness: plain-text table
-//! rendering used by the `tables` binary and the criterion benches.
+//! rendering used by the `tables` binary and the micro-benches.
 
 #![warn(missing_docs)]
 

@@ -327,7 +327,8 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use chimera_testkit::prop::{self, Gen};
+    use chimera_testkit::prop_assert;
 
     #[test]
     fn rat_arithmetic_normalizes() {
@@ -385,15 +386,25 @@ mod tests {
         assert_eq!(s.bounds_of(0), Ok((Some(0), Some(3))));
     }
 
-    proptest! {
-        /// Eliminating a variable never cuts off points that satisfied the
-        /// original system (projection soundness).
-        #[test]
-        fn elimination_is_sound(
-            a in -5i128..=5, b in -5i128..=5, c in -20i128..=20,
-            d in -5i128..=5, e in -5i128..=5, f in -20i128..=20,
-            x in -10i128..=10, y in -10i128..=10,
-        ) {
+    /// Eliminating a variable never cuts off points that satisfied the
+    /// original system (projection soundness).
+    #[test]
+    fn elimination_is_sound() {
+        let gen = Gen::new(|s| {
+            (
+                [
+                    s.int(-5i128..=5),
+                    s.int(-5i128..=5),
+                    s.int(-20i128..=20),
+                    s.int(-5i128..=5),
+                    s.int(-5i128..=5),
+                    s.int(-20i128..=20),
+                ],
+                s.int(-10i128..=10),
+                s.int(-10i128..=10),
+            )
+        });
+        prop::check("elimination_is_sound", &gen, |&([a, b, c, d, e, f], x, y)| {
             let mut s = System::new();
             s.le_zero(&[(0, a), (1, b)], c);
             s.le_zero(&[(0, d), (1, e)], f);
@@ -404,14 +415,22 @@ mod tests {
                 let elim = s.eliminate(0);
                 prop_assert!(elim.satisfied(&point), "projection lost a feasible point");
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Bounds from bounds_of always contain every feasible point.
-        #[test]
-        fn bounds_contain_feasible_points(
-            lo in -20i128..=0, hi in 0i128..=20, shift in -10i128..=10,
-            x in -30i128..=30,
-        ) {
+    /// Bounds from bounds_of always contain every feasible point.
+    #[test]
+    fn bounds_contain_feasible_points() {
+        let gen = Gen::new(|s| {
+            (
+                s.int(-20i128..=0),
+                s.int(0i128..=20),
+                s.int(-10i128..=10),
+                s.int(-30i128..=30),
+            )
+        });
+        prop::check("bounds_contain_feasible_points", &gen, |&(lo, hi, shift, x)| {
             let mut s = System::new();
             // lo <= x - shift <= hi
             s.le_zero(&[(0, -1)], lo + shift);
@@ -423,6 +442,7 @@ mod tests {
                 prop_assert!(l.is_none_or(|l| l <= x));
                 prop_assert!(h.is_none_or(|h| x <= h));
             }
-        }
+            Ok(())
+        });
     }
 }

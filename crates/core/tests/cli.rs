@@ -1,34 +1,25 @@
-//! Integration tests for the `chimera` command-line binary: the full
-//! file-based record → log file → replay workflow.
+//! Integration smoke tests for the `chimera` command-line binary: every
+//! subcommand (`races`, `plan`, `run`, `record`, `replay`, `ir`) exercised
+//! against the checked-in fixture, including the full file-based
+//! record → log file → replay workflow.
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
-
-const RACY: &str = "int g;
-void w(int v) {
-    int i; int x;
-    for (i = 0; i < 40; i = i + 1) { x = g; g = x + v; }
-}
-int main() {
-    int t;
-    t = spawn(w, 1);
-    w(2);
-    join(t);
-    print(g);
-    return 0;
-}
-";
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_chimera"))
 }
 
-fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
-    let src = dir.join("demo.mc");
-    std::fs::write(&src, RACY).expect("write source");
-    src
+/// The checked-in demo program: a racy counter plus one properly locked
+/// update, so both the race detector and the planner have work to do.
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("demo.mc")
 }
 
-fn tempdir(tag: &str) -> std::path::PathBuf {
+fn tempdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("chimera-cli-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&d).expect("mk tempdir");
     d
@@ -36,9 +27,7 @@ fn tempdir(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn races_subcommand_reports_pairs() {
-    let dir = tempdir("races");
-    let src = write_demo(&dir);
-    let out = bin().arg("races").arg(&src).output().expect("spawn");
+    let out = bin().arg("races").arg(fixture()).output().expect("spawn");
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("race pair(s)"), "{stdout}");
@@ -46,13 +35,51 @@ fn races_subcommand_reports_pairs() {
 }
 
 #[test]
+fn plan_subcommand_summarizes_instrumentation() {
+    let out = bin().arg("plan").arg(fixture()).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("weak-locks"), "{stdout}");
+    assert!(stdout.contains("sites"), "{stdout}");
+}
+
+#[test]
+fn run_subcommand_executes_and_is_seed_deterministic() {
+    let run = |seed: &str| {
+        let out = bin()
+            .arg("run")
+            .arg(fixture())
+            .args(["--seed", seed])
+            .output()
+            .expect("spawn run");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = run("7");
+    assert!(a.contains("outcome"), "{a}");
+    assert!(a.contains("output"), "{a}");
+    // Same seed, same schedule, same output — the VM is deterministic.
+    assert_eq!(a, run("7"), "same seed must reproduce the run exactly");
+}
+
+#[test]
+fn ir_subcommand_dumps_every_function() {
+    let out = bin().arg("ir").arg(fixture()).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for f in ["main", "w"] {
+        assert!(stdout.contains(f), "ir dump missing function '{f}':\n{stdout}");
+    }
+    assert!(stdout.contains("bb0"), "ir dump has no basic blocks:\n{stdout}");
+}
+
+#[test]
 fn record_then_replay_round_trips_through_the_log_file() {
     let dir = tempdir("roundtrip");
-    let src = write_demo(&dir);
     let log = dir.join("run.chimlog");
     let rec = bin()
         .args(["record"])
-        .arg(&src)
+        .arg(fixture())
         .args(["-o"])
         .arg(&log)
         .args(["--seed", "5"])
@@ -67,9 +94,11 @@ fn record_then_replay_round_trips_through_the_log_file() {
         .expect("record printed output")
         .to_string();
 
+    // A different seed on replay must not matter: the log, not the
+    // scheduler, decides the interleaving.
     let rep = bin()
         .args(["replay"])
-        .arg(&src)
+        .arg(fixture())
         .arg(&log)
         .args(["--seed", "9876"])
         .output()
@@ -86,11 +115,10 @@ fn record_then_replay_round_trips_through_the_log_file() {
 #[test]
 fn replay_with_wrong_program_fails_cleanly() {
     let dir = tempdir("mismatch");
-    let src = write_demo(&dir);
     let log = dir.join("run.chimlog");
     assert!(bin()
         .args(["record"])
-        .arg(&src)
+        .arg(fixture())
         .args(["-o"])
         .arg(&log)
         .output()
@@ -119,22 +147,23 @@ fn replay_with_wrong_program_fails_cleanly() {
 }
 
 #[test]
-fn unknown_command_and_missing_file_fail() {
-    let out = bin().arg("frobnicate").arg("x.mc").output().expect("spawn");
-    assert!(!out.status.success());
-    let out = bin().arg("races").arg("/nonexistent.mc").output().expect("spawn");
+fn record_without_output_path_fails() {
+    let out = bin().arg("record").arg(fixture()).output().expect("spawn");
     assert!(!out.status.success());
     let msg = String::from_utf8_lossy(&out.stderr);
-    assert!(msg.contains("cannot read"), "{msg}");
+    assert!(msg.contains("-o"), "{msg}");
 }
 
 #[test]
-fn plan_subcommand_summarizes_instrumentation() {
-    let dir = tempdir("plan");
-    let src = write_demo(&dir);
-    let out = bin().arg("plan").arg(&src).output().expect("spawn");
-    assert!(out.status.success());
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("weak-locks"), "{stdout}");
-    assert!(stdout.contains("sites"), "{stdout}");
+fn unknown_command_and_missing_file_fail() {
+    let out = bin().arg("frobnicate").arg("x.mc").output().expect("spawn");
+    assert!(!out.status.success());
+    let out = bin()
+        .arg("races")
+        .arg("/nonexistent.mc")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("cannot read"), "{msg}");
 }

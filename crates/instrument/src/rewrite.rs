@@ -424,6 +424,138 @@ fn emit_expr(f: &mut Function, out: &mut Vec<Instr>, expr: &SymExpr) -> Operand 
 }
 
 #[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::plan::{plan, OptSet};
+    use chimera_minic::compile;
+    use chimera_profile::profile_runs;
+    use chimera_relay::detect_races;
+    use chimera_runtime::ExecConfig;
+    use chimera_testkit::prop::{self, Config, Gen, Source};
+
+    /// Generate two-worker programs that hammer a few shared globals with a
+    /// mix of unsynchronized bumps, locked bumps, and array sweeps — the
+    /// racy shapes the planner has to cover with weak locks.
+    fn racy_program_gen() -> Gen<String> {
+        fn stmt(s: &mut Source) -> String {
+            let g = |s: &mut Source| ["s0", "s1", "s2"][s.index(3)];
+            match s.index(4) {
+                0 => {
+                    let v = g(s);
+                    format!("{v} = {v} + {};", s.int(1i64..5))
+                }
+                1 => {
+                    let v = g(s);
+                    format!("lock(&m); {v} = {v} + 1; unlock(&m);")
+                }
+                2 => format!(
+                    "for (k = 0; k < {}; k = k + 1) {{ buf[k] = buf[k] + n; }}",
+                    s.int(2i64..8)
+                ),
+                _ => {
+                    let (a, b) = (g(s), g(s));
+                    format!("if ({a} > n) {{ {b} = {a}; }}")
+                }
+            }
+        }
+        Gen::new(|s| {
+            let n = s.int(1usize..5);
+            let body: String = (0..n).map(|_| format!("    {}\n", stmt(s))).collect();
+            format!(
+                "int s0; int s1; int s2; int buf[8]; lock_t m;\nvoid worker(int n) {{\n    int k;\n{body}}}\nint main() {{\n    int t1; int t2;\n    t1 = spawn(worker, 1); t2 = spawn(worker, 2);\n    join(t1); join(t2);\n    print(s0); print(s1); print(s2);\n    return 0;\n}}\n"
+            )
+        })
+    }
+
+    fn instrument_all(src: &str) -> (Program, Program) {
+        let p = compile(src).expect("generated source is valid");
+        let races = detect_races(&p);
+        let prof = profile_runs(&p, &ExecConfig::default(), &[1, 2]);
+        let pl = plan(&p, &races, &prof, &OptSet::all());
+        let ip = apply(&p, &pl);
+        (p, ip)
+    }
+
+    // Profiling + planning + execution per case: keep the sweep small but
+    // env-overridable, like the generated-soundness suite.
+    fn sweep_config() -> Config {
+        Config::from_env().with_cases(16)
+    }
+
+    /// Instrumentation never breaks termination, and every weak acquire the
+    /// rewriter inserts is matched by a release on every exit path.
+    #[test]
+    fn instrumented_generated_programs_balance_weak_ops() {
+        prop::check_config(
+            &sweep_config(),
+            "instrumented_generated_programs_balance_weak_ops",
+            &racy_program_gen(),
+            |src| {
+                let (_, ip) = instrument_all(src);
+                let r = chimera_runtime::execute(
+                    &ip,
+                    &ExecConfig {
+                        collect_trace: true,
+                        ..ExecConfig::default()
+                    },
+                );
+                if !r.outcome.is_exit() {
+                    return Err(format!("instrumented run died: {:?}\n{src}", r.outcome));
+                }
+                let acquires = r
+                    .trace
+                    .iter()
+                    .filter(|e| matches!(e, chimera_runtime::Event::WeakAcquire { .. }))
+                    .count();
+                let releases = r
+                    .trace
+                    .iter()
+                    .filter(|e| matches!(e, chimera_runtime::Event::WeakRelease { .. }))
+                    .count();
+                if acquires != releases {
+                    return Err(format!(
+                        "unbalanced weak ops ({acquires} acquires, {releases} releases) in:\n{src}"
+                    ));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Weak locks never deadlock the VM, and an instrumented program is a
+    /// deterministic function of the execution config: two runs under the
+    /// same seed print the same main-thread output. (Output equality with
+    /// the *uninstrumented* program is deliberately not asserted — these
+    /// programs are racy, so adding locks legitimately picks a different
+    /// legal interleaving.)
+    #[test]
+    fn instrumented_generated_programs_run_deterministically() {
+        prop::check_config(
+            &sweep_config(),
+            "instrumented_generated_programs_run_deterministically",
+            &racy_program_gen(),
+            |src| {
+                let (_, ip) = instrument_all(src);
+                let a = chimera_runtime::execute(&ip, &ExecConfig::default());
+                let b = chimera_runtime::execute(&ip, &ExecConfig::default());
+                if !a.outcome.is_exit() {
+                    return Err(format!("instrumented run died: {:?}\n{src}", a.outcome));
+                }
+                let t0 = chimera_runtime::ThreadId(0);
+                if a.output_of(t0) != b.output_of(t0) {
+                    return Err(format!(
+                        "same config, different output: {:?} vs {:?} for:\n{src}",
+                        a.output_of(t0),
+                        b.output_of(t0)
+                    ));
+                }
+                Ok(())
+            },
+        );
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::{plan, OptSet};

@@ -75,3 +75,92 @@ pub fn compile(source: &str) -> Result<Program, CompileError> {
     let unit = parser::parse(&tokens)?;
     lower::lower(&unit)
 }
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use chimera_testkit::prop::{self, Gen, Source};
+    use chimera_testkit::prop_assert_eq;
+
+    /// The front end is total: arbitrary printable soup (with whitespace)
+    /// either compiles or reports a `CompileError`, but never panics.
+    #[test]
+    fn compile_never_panics_on_ascii_soup() {
+        let byte = prop::one_of(vec![
+            prop::ranged(0x20u8..0x7f),
+            // Weight in whitespace and newlines so statements form.
+            prop::one_of(vec![
+                Gen::new(|_| b' '),
+                Gen::new(|_| b'\n'),
+                Gen::new(|_| b'\t'),
+            ]),
+        ]);
+        let gen = prop::vec_of(byte, 0..300)
+            .map(|bytes| String::from_utf8(bytes).expect("ascii is utf8"));
+        prop::check("compile_never_panics_on_ascii_soup", &gen, |src| {
+            let _ = compile(src);
+            Ok(())
+        });
+    }
+
+    /// A tiny structured-program generator: straight-line arithmetic,
+    /// branches, and loops over two locals and a global.
+    fn program_gen() -> Gen<String> {
+        fn stmt(s: &mut Source) -> String {
+            let var = |s: &mut Source| ["x", "y", "g"][s.index(3)].to_string();
+            let c: i64 = s.int(-9i64..=9);
+            match s.index(5) {
+                0 => format!("{} = {} + {c};", var(s), var(s)),
+                1 => format!("{} = {} * {c};", var(s), var(s)),
+                2 => {
+                    let (a, b) = (var(s), var(s));
+                    format!("if ({a} > {c}) {{ {b} = {b} - 1; }}")
+                }
+                3 => {
+                    let v = var(s);
+                    format!("for (i = 0; i < {}; i = i + 1) {{ {v} = {v} + i; }}", s.int(1i64..5))
+                }
+                _ => format!("print({});", var(s)),
+            }
+        }
+        Gen::new(|s| {
+            let n = s.int(1usize..8);
+            let body: String = (0..n).map(|_| format!("    {}\n", stmt(s))).collect();
+            format!(
+                "int g;\nint main() {{\n    int x; int y; int i;\n    x = 1; y = 2;\n{body}    return 0;\n}}\n"
+            )
+        })
+    }
+
+    /// `unparse` is faithful: re-parsing its output lowers to the identical
+    /// IR, so every downstream analysis sees the same program.
+    #[test]
+    fn generated_programs_survive_unparse_recompile() {
+        prop::check("generated_programs_survive_unparse_recompile", &program_gen(), |src| {
+            let direct = compile(src).expect("generated source is valid");
+            let unit = parser::parse(&lexer::lex(src).expect("lexes")).expect("parses");
+            let rendered = unparse::unit_to_source(&unit);
+            let reparsed = compile(&rendered)
+                .unwrap_or_else(|e| panic!("unparse broke the source: {e}\n{rendered}"));
+            prop_assert_eq!(
+                pretty::program_to_string(&direct),
+                pretty::program_to_string(&reparsed),
+                "IR diverged after unparse round trip of:\n{src}"
+            );
+            Ok(())
+        });
+    }
+
+    /// The optimizer runs to a fixpoint: a second pass over an already
+    /// optimized program must change nothing.
+    #[test]
+    fn optimizer_is_idempotent_on_generated_programs() {
+        prop::check("optimizer_is_idempotent_on_generated_programs", &program_gen(), |src| {
+            let mut p = compile(src).expect("generated source is valid");
+            opt::optimize(&mut p);
+            let second = opt::optimize(&mut p);
+            prop_assert_eq!(second, 0, "optimizer not idempotent on:\n{src}");
+            Ok(())
+        });
+    }
+}

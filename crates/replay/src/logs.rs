@@ -462,65 +462,82 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use chimera_testkit::prop::{self, Gen, Source};
+        use chimera_testkit::prop_assert_eq;
 
-        fn arb_logs() -> impl Strategy<Value = ReplayLogs> {
-            let inputs = proptest::collection::btree_map(
-                (0u32..8, 0u64..64),
-                proptest::collection::vec(any::<i64>(), 0..16),
-                0..6,
-            );
-            let order = || {
-                proptest::collection::btree_map(
-                    any::<i64>(),
-                    proptest::collection::vec(0u32..8, 0..12),
-                    0..4,
-                )
-            };
-            let weak = proptest::collection::btree_map(
-                (0u32..16).prop_map(WeakLockId),
-                proptest::collection::vec(0u32..8, 0..12),
-                0..4,
-            );
-            let forced = proptest::collection::vec(
-                (0u32..8, any::<u64>(), any::<bool>(), (0u32..16).prop_map(WeakLockId)),
-                0..5,
-            );
-            (inputs, order(), order(), weak, forced, any::<u64>(), any::<u64>()).prop_map(
-                |(inputs, mutex_order, cond_order, weak_order, forced, s, i)| {
-                    let weak_gran = weak_order
-                        .keys()
-                        .map(|l| (*l, LockGranularity::Loop))
-                        .collect();
-                    ReplayLogs {
-                        inputs,
-                        mutex_order,
-                        cond_order,
-                        spawn_order: vec![0, 0],
-                        output_order: vec![1],
-                        weak_order,
-                        weak_gran,
-                        forced,
-                        sync_log_entries: s,
-                        input_log_entries: i,
-                    }
-                },
-            )
+        fn arb_logs() -> Gen<ReplayLogs> {
+            fn order(s: &mut Source) -> BTreeMap<i64, Vec<u32>> {
+                let n = s.int(0usize..4);
+                (0..n)
+                    .map(|_| {
+                        let key = s.raw_u64() as i64;
+                        let len = s.int(0usize..12);
+                        (key, (0..len).map(|_| s.int(0u32..8)).collect())
+                    })
+                    .collect()
+            }
+            Gen::new(|s| {
+                let n_inputs = s.int(0usize..6);
+                let inputs = (0..n_inputs)
+                    .map(|_| {
+                        let key = (s.int(0u32..8), s.int(0u64..64));
+                        let len = s.int(0usize..16);
+                        (key, (0..len).map(|_| s.raw_u64() as i64).collect())
+                    })
+                    .collect();
+                let mutex_order = order(s);
+                let cond_order = order(s);
+                let n_weak = s.int(0usize..4);
+                let weak_order: BTreeMap<WeakLockId, Vec<u32>> = (0..n_weak)
+                    .map(|_| {
+                        let key = WeakLockId(s.int(0u32..16));
+                        let len = s.int(0usize..12);
+                        (key, (0..len).map(|_| s.int(0u32..8)).collect())
+                    })
+                    .collect();
+                let n_forced = s.int(0usize..5);
+                let forced = (0..n_forced)
+                    .map(|_| {
+                        (s.int(0u32..8), s.raw_u64(), s.bool(), WeakLockId(s.int(0u32..16)))
+                    })
+                    .collect();
+                let weak_gran = weak_order
+                    .keys()
+                    .map(|l| (*l, LockGranularity::Loop))
+                    .collect();
+                ReplayLogs {
+                    inputs,
+                    mutex_order,
+                    cond_order,
+                    spawn_order: vec![0, 0],
+                    output_order: vec![1],
+                    weak_order,
+                    weak_gran,
+                    forced,
+                    sync_log_entries: s.raw_u64(),
+                    input_log_entries: s.raw_u64(),
+                }
+            })
         }
 
-        proptest! {
-            /// Arbitrary logs survive a serialize/parse round trip.
-            #[test]
-            fn to_bytes_from_bytes_round_trips(logs in arb_logs()) {
+        /// Arbitrary logs survive a serialize/parse round trip.
+        #[test]
+        fn to_bytes_from_bytes_round_trips() {
+            prop::check("to_bytes_from_bytes_round_trips", &arb_logs(), |logs| {
                 let back = ReplayLogs::from_bytes(&logs.to_bytes()).expect("valid buffer");
-                prop_assert_eq!(back, logs);
-            }
+                prop_assert_eq!(&back, logs);
+                Ok(())
+            });
+        }
 
-            /// Random byte soup never panics the parser.
-            #[test]
-            fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-                let _ = ReplayLogs::from_bytes(&bytes);
-            }
+        /// Random byte soup never panics the parser.
+        #[test]
+        fn from_bytes_never_panics() {
+            let gen = prop::vec_of(prop::any_u8(), 0..256);
+            prop::check("from_bytes_never_panics", &gen, |bytes| {
+                let _ = ReplayLogs::from_bytes(bytes);
+                Ok(())
+            });
         }
     }
 

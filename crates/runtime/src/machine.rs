@@ -37,8 +37,7 @@ use chimera_minic::ir::{
     BlockId, Callee, FuncId, Instr, LocalId, LockGranularity, Operand, Program, Storage,
     Terminator, WeakLockId,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use chimera_testkit::rng::Rng;
 
 /// Function-pointer values are encoded as `FUNC_PTR_BASE + FuncId`.
 pub const FUNC_PTR_BASE: i64 = 1 << 40;
@@ -251,7 +250,7 @@ struct Machine<'p> {
     sync: SyncTables,
     threads: Vec<Thr>,
     world: World,
-    rng: StdRng,
+    rng: Rng,
     stats: ExecStats,
     output: Vec<(ThreadId, i64)>,
     trace: Vec<Event>,
@@ -275,7 +274,7 @@ impl<'p> Machine<'p> {
         let layouts = layout_of(program);
         let mem = Memory::new(program);
         let world = World::new(config.seed, config.io.clone());
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng::seed_from_u64(config.seed);
         let mut m = Machine {
             program,
             config,

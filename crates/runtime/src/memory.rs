@@ -274,7 +274,8 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use chimera_testkit::prop::{self, Gen};
+        use chimera_testkit::{prop_assert, prop_assert_eq};
         use std::collections::HashMap;
 
         #[derive(Debug, Clone)]
@@ -285,24 +286,26 @@ mod tests {
             Load(u8, i64),
         }
 
-        fn op_strategy() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (1u8..16).prop_map(Op::Alloc),
-                any::<u8>().prop_map(Op::Free),
-                (any::<u8>(), -4i64..20, any::<i64>()).prop_map(|(r, o, v)| Op::Store(r, o, v)),
-                (any::<u8>(), -4i64..20).prop_map(|(r, o)| Op::Load(r, o)),
-            ]
+        fn op_gen() -> Gen<Op> {
+            prop::one_of(vec![
+                prop::ranged(1u8..16).map(Op::Alloc),
+                prop::any_u8().map(Op::Free),
+                Gen::new(|s| {
+                    Op::Store(s.int(0u8..=255), s.int(-4i64..20), s.raw_u64() as i64)
+                }),
+                Gen::new(|s| Op::Load(s.int(0u8..=255), s.int(-4i64..20))),
+            ])
         }
 
-        proptest! {
-            /// The bounds-checked memory agrees with a simple reference
-            /// model (a map from live region to its cells) on every
-            /// outcome: loads/stores succeed with matching values exactly
-            /// when the reference says the access is in a live region.
-            #[test]
-            fn memory_matches_reference_model(
-                ops in proptest::collection::vec(op_strategy(), 1..60),
-            ) {
+        /// The bounds-checked memory agrees with a simple reference
+        /// model (a map from live region to its cells) on every
+        /// outcome: loads/stores succeed with matching values exactly
+        /// when the reference says the access is in a live region.
+        #[test]
+        fn memory_matches_reference_model() {
+            let gen = prop::vec_of(op_gen(), 1..60);
+            prop::check("memory_matches_reference_model", &gen, |ops| {
+                let ops = ops.clone();
                 let program = chimera_minic::compile("int main() { return 0; }").unwrap();
                 let mut mem = Memory::new(&program);
                 // reference: region index -> (base, len, live, cells)
@@ -357,7 +360,8 @@ mod tests {
                         }
                     }
                 }
-            }
+                Ok(())
+            });
         }
     }
 

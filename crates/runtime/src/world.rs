@@ -8,8 +8,7 @@
 //! `aget`/`knot`/`apache` analogues I/O-bound, so their recording overhead
 //! hides inside I/O wait exactly as in the paper (§7.3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use chimera_testkit::rng::Rng;
 
 /// Latency and data model for simulated I/O.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +44,7 @@ impl Default for IoModel {
 /// latencies.
 #[derive(Debug, Clone)]
 pub struct World {
-    rng: StdRng,
+    rng: Rng,
     io: IoModel,
 }
 
@@ -55,7 +54,7 @@ impl World {
     /// scheduling changes for a given read sequence).
     pub fn new(seed: u64, io: IoModel) -> World {
         World {
-            rng: StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+            rng: Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
             io,
         }
     }

@@ -1,0 +1,595 @@
+//! A minimal property-testing harness with seed-replayable shrinking.
+//!
+//! Design (Hypothesis-style "choice tape"): a property draws every random
+//! decision from a [`Source`], which records the raw 64-bit words it hands
+//! out. Generation is a pure function of that tape, so:
+//!
+//! * **Replay** — a failing case is fully determined by its case seed. The
+//!   failure message prints `CHIMERA_TESTKIT_SEED=<n>`; exporting that
+//!   variable re-runs exactly the failing case (and nothing else).
+//! * **Shrinking** — works on the tape, not on typed values, so it composes
+//!   through `map`, `one_of`, and hand-rolled closures for free. The
+//!   shrinker greedily tries shorter and smaller tapes (truncate, delete
+//!   chunks, zero/halve/decrement words); exhausted tape positions read as
+//!   zero, which every generator maps to its minimal value.
+//!
+//! Environment knobs:
+//!
+//! * `CHIMERA_TESTKIT_SEED=<n>`  — replay a single case from seed `n`.
+//! * `CHIMERA_TESTKIT_CASES=<n>` — override the iteration count (default
+//!   256, the same default case count as proptest).
+//!
+//! ```
+//! use chimera_testkit::prop::{self, Gen};
+//!
+//! let pairs = prop::vec_of(
+//!     prop::ranged(0u32..100).map(|n| (n, n + 1)),
+//!     0..8,
+//! );
+//! prop::check("pairs_are_ordered", &pairs, |v| {
+//!     for (a, b) in v {
+//!         chimera_testkit::prop_assert!(a < b, "bad pair ({a}, {b})");
+//!     }
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{below, RandomSource, Rng, SampleRange, SplitMix64};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// Fail a property with a formatted message (like `assert!`, but returns
+/// `Err` so the shrinker can re-run the property quietly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail a property unless two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (av, bv) = (&$a, &$b);
+        $crate::prop_assert!(av == bv, "{:?} != {:?}", av, bv);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (av, bv) = (&$a, &$b);
+        if !(av == bv) {
+            return Err(format!("{:?} != {:?}: {}", av, bv, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// The stream a property draws its randomness from. In generation mode it
+/// pulls fresh words from a seeded [`Rng`] and records them; in shrink mode
+/// it replays a (mutated) tape, reading zeros once the tape runs out.
+pub struct Source {
+    rng: Option<Rng>,
+    tape: Vec<u64>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// Fresh generation from a case seed.
+    pub fn from_seed(seed: u64) -> Source {
+        Source {
+            rng: Some(Rng::seed_from_u64(seed)),
+            tape: Vec::new(),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Pure replay of a tape (exhausted positions read as zero).
+    pub fn from_tape(tape: &[u64]) -> Source {
+        Source {
+            rng: None,
+            tape: tape.to_vec(),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The raw words handed out so far.
+    pub fn tape(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// Uniform value in `range` (same ranged sampling as [`Rng::gen_range`]).
+    pub fn int<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform bool (false shrinks first).
+    pub fn bool(&mut self) -> bool {
+        below(self, 2) == 1
+    }
+
+    /// Next raw 64-bit word (full domain; shrinks toward 0).
+    pub fn raw_u64(&mut self) -> u64 {
+        <Self as RandomSource>::next_u64(self)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over an empty collection");
+        below(self, n as u64) as usize
+    }
+
+    /// Run a generator against this source.
+    pub fn draw<T>(&mut self, g: &Gen<T>) -> T {
+        (g.f)(self)
+    }
+}
+
+impl RandomSource for Source {
+    fn next_u64(&mut self) -> u64 {
+        let word = if self.pos < self.tape.len() {
+            self.tape[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.recorded.push(word);
+        word
+    }
+}
+
+/// A composable generator: a pure function from a [`Source`] to a value.
+#[derive(Clone)]
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wrap a drawing function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Apply `g` to every generated value.
+    pub fn map<U: 'static>(self, g: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |s| g((self.f)(s)))
+    }
+
+    /// Generate a value, then run a dependent generator.
+    pub fn flat_map<U: 'static>(self, g: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |s| {
+            let mid = (self.f)(s);
+            let next = g(mid);
+            (next.f)(s)
+        })
+    }
+}
+
+/// Uniform integer in `range`; shrinks toward the low end.
+pub fn ranged<T: 'static, R: SampleRange<T> + Clone + 'static>(range: R) -> Gen<T> {
+    Gen::new(move |s| s.int(range.clone()))
+}
+
+/// A full-domain `u64` (shrinks toward 0).
+pub fn any_u64() -> Gen<u64> {
+    Gen::new(|s| s.next_u64())
+}
+
+/// A full-domain `i64` (shrinks toward 0 via the raw word).
+pub fn any_i64() -> Gen<i64> {
+    Gen::new(|s| s.next_u64() as i64)
+}
+
+/// A full-domain `u8`.
+pub fn any_u8() -> Gen<u8> {
+    ranged(0u8..=u8::MAX)
+}
+
+/// A bool; shrinks toward `false`.
+pub fn any_bool() -> Gen<bool> {
+    Gen::new(|s| s.bool())
+}
+
+/// A vector with length drawn from `len` and elements from `elem`.
+/// Shrinks toward shorter vectors of minimal elements.
+pub fn vec_of<T: 'static>(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    assert!(!len.is_empty(), "vec_of with an empty length range");
+    Gen::new(move |s| {
+        let n = s.int(len.clone());
+        (0..n).map(|_| s.draw(&elem)).collect()
+    })
+}
+
+/// Pick one of several generators uniformly; earlier alternatives shrink
+/// first (put the simplest case first, as with `prop_oneof!`).
+pub fn one_of<T: 'static>(choices: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!choices.is_empty(), "one_of with no choices");
+    Gen::new(move |s| {
+        let i = s.index(choices.len());
+        s.draw(&choices[i])
+    })
+}
+
+/// Pair of independent generators.
+pub fn pair<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |s| (s.draw(&a), s.draw(&b)))
+}
+
+/// Harness configuration, normally built by [`Config::from_env`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from this stream.
+    pub base_seed: u64,
+    /// Replay exactly this case seed instead of generating fresh cases.
+    pub replay_seed: Option<u64>,
+    /// Cap on property re-executions during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+/// Default cases per property — matches proptest's default so every ported
+/// suite keeps at least its former case count.
+pub const DEFAULT_CASES: u32 = 256;
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: DEFAULT_CASES,
+            base_seed: 0xC1A0_5EED_0DD5,
+            replay_seed: None,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Read `CHIMERA_TESTKIT_CASES` and `CHIMERA_TESTKIT_SEED` from the
+    /// environment.
+    pub fn from_env() -> Config {
+        let mut cfg = Config::default();
+        if let Some(n) = env_u64("CHIMERA_TESTKIT_CASES") {
+            cfg.cases = n as u32;
+        }
+        cfg.replay_seed = env_u64("CHIMERA_TESTKIT_SEED");
+        cfg
+    }
+
+    /// Override the case count (env still wins, preserving sweep workflows).
+    pub fn with_cases(mut self, cases: u32) -> Config {
+        if std::env::var_os("CHIMERA_TESTKIT_CASES").is_none() {
+            self.cases = cases;
+        }
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Run `property` against `cases` generated inputs using the environment
+/// configuration. Panics (with a replayable seed line) on the first — fully
+/// shrunk — failure.
+pub fn check<T: Debug + 'static>(
+    name: &str,
+    gen: &Gen<T>,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    check_config(&Config::from_env(), name, gen, property)
+}
+
+/// [`check`] with an explicit configuration (env replay/case overrides
+/// still apply when the config came from [`Config::from_env`]).
+pub fn check_config<T: Debug + 'static>(
+    cfg: &Config,
+    name: &str,
+    gen: &Gen<T>,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    let mut seed_stream = SplitMix64::new(cfg.base_seed);
+    let (n_cases, forced) = match cfg.replay_seed {
+        Some(s) => (1, Some(s)),
+        None => (cfg.cases, None),
+    };
+    for case in 0..n_cases {
+        let case_seed = forced.unwrap_or_else(|| seed_stream.next_u64());
+        let mut src = Source::from_seed(case_seed);
+        let value = src.draw(gen);
+        if let Err(msg) = run_property(&property, &value) {
+            let tape = src.tape().to_vec();
+            let (small_value, small_msg, evals) =
+                shrink(gen, &property, tape, value, msg, cfg.max_shrink_iters);
+            panic!(
+                "property '{name}' failed (case {case_idx}/{total}, {evals} shrink eval(s))\n\
+                 minimal input: {small_value:#?}\n\
+                 error: {small_msg}\n\
+                 replay exactly this case with: CHIMERA_TESTKIT_SEED={case_seed}",
+                case_idx = case + 1,
+                total = n_cases,
+            );
+        }
+    }
+}
+
+/// Generate the value a given case seed produces, without running any
+/// property — lets tests assert generator determinism directly.
+pub fn sample_with_seed<T>(gen: &Gen<T>, seed: u64) -> T {
+    Source::from_seed(seed).draw(gen)
+}
+
+/// Run the property, converting stray panics into `Err` so shrinking also
+/// works for properties that `assert!` or `expect` internally.
+fn run_property<T>(
+    property: &impl Fn(&T) -> Result<(), String>,
+    value: &T,
+) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| property(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("property panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("property panicked: {s}")
+    } else {
+        "property panicked".to_string()
+    }
+}
+
+/// Greedy tape shrinking: repeatedly try simpler tapes, keeping any that
+/// still fail, until a full pass makes no progress (or the eval budget is
+/// spent). Returns the minimal failing value, its error, and the number of
+/// property evaluations used.
+fn shrink<T: Debug>(
+    gen: &Gen<T>,
+    property: &impl Fn(&T) -> Result<(), String>,
+    mut tape: Vec<u64>,
+    mut best_value: T,
+    mut best_msg: String,
+    max_iters: u32,
+) -> (T, String, u32) {
+    let mut evals = 0u32;
+    let attempt = |cand: &[u64], evals: &mut u32| -> Option<(Vec<u64>, T, String)> {
+        if *evals >= max_iters {
+            return None;
+        }
+        *evals += 1;
+        let mut src = Source::from_tape(cand);
+        let value = src.draw(gen);
+        match run_property(property, &value) {
+            Ok(()) => None,
+            Err(msg) => Some((src.tape().to_vec(), value, msg)),
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: structural — drop whole spans of the tape, sweeping each
+        // chunk size once from the end (no restart: the outer fixpoint
+        // loop picks up anything a successful deletion re-exposed).
+        let mut chunk = (tape.len() / 2).max(1);
+        loop {
+            let mut start = tape.len().saturating_sub(chunk);
+            loop {
+                if !tape.is_empty() && start < tape.len() {
+                    let mut cand = tape.clone();
+                    cand.drain(start..(start + chunk).min(cand.len()));
+                    if cand.len() < tape.len() {
+                        if let Some((t, v, m)) = attempt(&cand, &mut evals) {
+                            tape = t;
+                            best_value = v;
+                            best_msg = m;
+                            progressed = true;
+                        }
+                    }
+                }
+                if start == 0 {
+                    break;
+                }
+                start = start.saturating_sub(chunk);
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: pointwise — zero each word, else binary-search the
+        // smallest still-failing replacement. Ranged draws map raw words
+        // monotonically onto values, so this converges to boundary
+        // counterexamples (e.g. exactly the threshold an assertion used).
+        let mut i = 0;
+        while i < tape.len() {
+            if tape[i] == 0 {
+                i += 1;
+                continue;
+            }
+            let mut cand = tape.clone();
+            cand[i] = 0;
+            if let Some((t, v, m)) = attempt(&cand, &mut evals) {
+                tape = t;
+                best_value = v;
+                best_msg = m;
+                progressed = true;
+                i += 1;
+                continue;
+            }
+            // 0 passes; find the least failing word in (0, tape[i]].
+            let (mut lo, mut hi) = (1u64, tape[i]);
+            while lo < hi && evals < max_iters {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = tape.clone();
+                cand[i] = mid;
+                match attempt(&cand, &mut evals) {
+                    Some((t, v, m)) => {
+                        let structure_changed = t.len() != tape.len();
+                        tape = t;
+                        best_value = v;
+                        best_msg = m;
+                        progressed = true;
+                        if structure_changed {
+                            break;
+                        }
+                        hi = mid;
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+            i += 1;
+        }
+
+        if !progressed || evals >= max_iters {
+            return (best_value, best_msg, evals);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = vec_of(ranged(0i64..1000), 1..20);
+        let a = sample_with_seed(&g, 99);
+        let b = sample_with_seed(&g, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, sample_with_seed(&g, 100));
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut cfg = Config::default();
+        cfg.cases = 50;
+        let counted = std::cell::Cell::new(0u32);
+        check_config(&cfg, "counts", &ranged(0u32..10), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counted.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let cfg = Config::default();
+        let g = vec_of(ranged(0u32..=1000), 0..40);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check_config(&cfg, "has_no_big_element", &g, |v| {
+                crate::prop_assert!(v.iter().all(|&x| x < 500), "big element in {v:?}");
+                Ok(())
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = panic_message(err);
+        // The seed line is present and parseable.
+        let seed: u64 = msg
+            .split("CHIMERA_TESTKIT_SEED=")
+            .nth(1)
+            .expect("seed line present")
+            .trim()
+            .parse()
+            .expect("seed parses");
+        // The printed seed regenerates a failing case.
+        let replayed = sample_with_seed(&g, seed);
+        assert!(
+            replayed.iter().any(|&x| x >= 500),
+            "replayed case must fail too: {replayed:?}"
+        );
+        // Shrinking reached the canonical minimal counterexample: [500].
+        assert!(
+            msg.contains("minimal input"),
+            "message shows the shrunk input: {msg}"
+        );
+        assert!(
+            msg.contains("500"),
+            "greedy shrink should reach the boundary value 500: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_finds_minimal_vector() {
+        // Direct shrinker test: property fails iff the vec contains any
+        // nonzero value; minimum is a single-element small vector.
+        let g = vec_of(ranged(0u32..=100), 0..30);
+        let prop = |v: &Vec<u32>| -> Result<(), String> {
+            crate::prop_assert!(v.iter().all(|&x| x == 0), "nonzero");
+            Ok(())
+        };
+        let mut src = Source::from_seed(12345);
+        let mut value = src.draw(&g);
+        // Find a failing seed first.
+        let mut seed = 12345u64;
+        while value.iter().all(|&x| x == 0) {
+            seed += 1;
+            src = Source::from_seed(seed);
+            value = src.draw(&g);
+        }
+        let tape = src.tape().to_vec();
+        let (small, _, _) = shrink(&g, &prop, tape, value, "seed".into(), 4096);
+        assert_eq!(small.len(), 1, "minimal failing vec has one element: {small:?}");
+        assert_eq!(small[0], 1, "minimal nonzero element is 1: {small:?}");
+    }
+
+    #[test]
+    fn one_of_and_map_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            A(u8),
+            B(bool),
+        }
+        let g = one_of(vec![
+            any_u8().map(E::A),
+            any_bool().map(E::B),
+        ]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for seed in 0..64 {
+            match sample_with_seed(&g, seed) {
+                E::A(_) => seen_a = true,
+                E::B(_) => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn replay_seed_runs_exactly_one_case() {
+        let mut cfg = Config::default();
+        cfg.replay_seed = Some(777);
+        let counted = std::cell::Cell::new(0u32);
+        check_config(&cfg, "replay_once", &any_u64(), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counted.get(), 1);
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let cfg = Config::default();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check_config(&cfg, "panics", &ranged(0u32..100), |&v| {
+                assert!(v < 90, "value too big");
+                Ok(())
+            });
+        }))
+        .expect_err("must fail");
+        let msg = panic_message(err);
+        assert!(msg.contains("CHIMERA_TESTKIT_SEED="), "{msg}");
+        assert!(msg.contains("90"), "shrinks to boundary: {msg}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! [`SplitMix64`] expands a 64-bit seed into well-distributed state words;
+//! [`Rng`] is xoshiro256++ (Blackman & Vigna), a fast non-cryptographic
+//! generator with a 256-bit state and excellent statistical quality. Both
+//! are pure functions of their seed, so every consumer in the workspace —
+//! the runtime's scheduling jitter, the simulated I/O world, the property
+//! harness — replays exactly from a recorded seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny generator used to seed [`Rng`] (and usable on its own
+/// for cheap derived streams, e.g. one sub-seed per test case).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Anything that yields a stream of 64-bit words. Implemented by [`Rng`]
+/// and by the property harness's recording [`crate::prop::Source`], so the
+/// same ranged-sampling code serves both.
+pub trait RandomSource {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// xoshiro256++ — the workspace's general-purpose PRNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the full 256-bit state from a 64-bit seed via SplitMix64, as
+    /// the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Rng { s }
+    }
+
+    /// Next 64-bit output (the ++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `range` (half-open `lo..hi` or inclusive `lo..=hi`
+    /// over any primitive integer type).
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform bool.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[below(self, slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl RandomSource for Rng {
+    fn next_u64(&mut self) -> u64 {
+        Rng::next_u64(self)
+    }
+}
+
+/// Uniform value in `[0, bound)` from one raw draw, via the multiply-shift
+/// map `(raw * bound) >> 64`. The map is monotone in `raw` (so the property
+/// harness's shrink-toward-zero on raw words shrinks the sampled value
+/// toward the range's low end) and its bias is below `bound / 2^64` —
+/// negligible for test-harness purposes.
+pub(crate) fn below<R: RandomSource + ?Sized>(r: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((r.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// 128-bit variant for `u128`/`i128` ranges: two raw draws, reduced mod the
+/// bound (monotone-in-high-word, same negligible bias argument).
+pub(crate) fn below128<R: RandomSource + ?Sized>(r: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    let raw = ((r.next_u64() as u128) << 64) | r.next_u64() as u128;
+    if bound.is_power_of_two() {
+        raw & (bound - 1)
+    } else {
+        raw % bound
+    }
+}
+
+/// A range that can be sampled uniformly from a [`RandomSource`].
+pub trait SampleRange<T> {
+    /// Draw one uniform value. Panics on an empty range.
+    fn sample<R: RandomSource + ?Sized>(&self, r: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RandomSource + ?Sized>(&self, r: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let width = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = below(r, width as u64) as $u;
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RandomSource + ?Sized>(&self, r: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let width = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                // width == 0 means the full domain: one raw draw covers it.
+                let off = if width == 0 {
+                    r.next_u64() as $u
+                } else {
+                    below(r, width as u64) as $u
+                };
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_sample_range_128 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RandomSource + ?Sized>(&self, r: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(below128(r, width)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RandomSource + ?Sized>(&self, r: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let width = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let off = if width == 0 {
+                    ((r.next_u64() as u128) << 64) | r.next_u64() as u128
+                } else {
+                    below128(r, width)
+                };
+                (lo as u128).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_128!(u128, i128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // State {1,2,3,4} — first outputs of xoshiro256++ from the
+        // reference implementation.
+        let mut r = Rng { s: [1, 2, 3, 4] };
+        assert_eq!(r.next_u64(), 41943041);
+        assert_eq!(r.next_u64(), 58720359);
+        assert_eq!(r.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = r.gen_range(0..256i64);
+            assert!((0..256).contains(&v));
+            let w = r.gen_range(-5i128..=5);
+            assert!((-5..=5).contains(&w));
+            let u = r.gen_range(10u64..=20);
+            assert!((10..=20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut r = Rng::seed_from_u64(9);
+        // Must not panic or loop: width overflows to 0.
+        let _ = r.gen_range(u64::MIN..=u64::MAX);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut r1 = Rng::seed_from_u64(11);
+        let mut r2 = Rng::seed_from_u64(11);
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b = a.clone();
+        r1.shuffle(&mut a);
+        r2.shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_picks_every_element_eventually() {
+        let mut r = Rng::seed_from_u64(13);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &v = r.choose(&items).unwrap();
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(r.choose::<u8>(&[]).is_none());
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Seed 1234567 — reference outputs of splitmix64.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+}

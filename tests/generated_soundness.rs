@@ -7,11 +7,17 @@
 //! programs full of unsynchronized shared accesses (scalar read-modify-
 //! writes, array loops, branch-guarded updates, lock-protected sections),
 //! and the property is checked for every optimization configuration.
+//!
+//! Runs under `chimera-testkit`'s property harness: a failing case prints
+//! a `CHIMERA_TESTKIT_SEED=<n>` line that replays it exactly, and the
+//! historical proptest counterexamples live on below as named
+//! `regression_*` tests. Scale the sweep with `CHIMERA_TESTKIT_CASES`.
 
 use chimera::{analyze, measure, OptSet, PipelineConfig};
 use chimera_minic::compile;
 use chimera_runtime::ExecConfig;
-use proptest::prelude::*;
+use chimera_testkit::prop::{self, Config, Gen};
+use chimera_testkit::prop_assert;
 
 /// One statement template for a worker body.
 #[derive(Debug, Clone)]
@@ -87,82 +93,205 @@ fn render_program(body_a: &[Tmpl], body_b: &[Tmpl], reps: u8, same_fn: bool) -> 
     )
 }
 
-fn tmpl_strategy() -> impl Strategy<Value = Tmpl> {
-    prop_oneof![
-        (any::<u8>(), -3i8..=3).prop_map(|(g, c)| Tmpl::Bump(g, c)),
-        (any::<u8>(), any::<u8>(), -3i8..=3).prop_map(|(a, b, c)| Tmpl::ReadThenWrite(a, b, c)),
-        any::<u8>().prop_map(Tmpl::ArrayLoop),
-        (any::<u8>(), -3i8..=3).prop_map(|(g, c)| Tmpl::Locked(g, c)),
-        (any::<u8>(), any::<u8>(), 0i8..=9).prop_map(|(a, b, c)| Tmpl::Guarded(a, b, c)),
-        (any::<u8>(), -5i8..=5).prop_map(|(g, v)| Tmpl::Scatter(g, v)),
-    ]
+fn tmpl_gen() -> Gen<Tmpl> {
+    prop::one_of(vec![
+        Gen::new(|s| Tmpl::Bump(s.int(0u8..=255), s.int(-3i8..=3))),
+        Gen::new(|s| Tmpl::ReadThenWrite(s.int(0u8..=255), s.int(0u8..=255), s.int(-3i8..=3))),
+        prop::any_u8().map(Tmpl::ArrayLoop),
+        Gen::new(|s| Tmpl::Locked(s.int(0u8..=255), s.int(-3i8..=3))),
+        Gen::new(|s| Tmpl::Guarded(s.int(0u8..=255), s.int(0u8..=255), s.int(0i8..=9))),
+        Gen::new(|s| Tmpl::Scatter(s.int(0u8..=255), s.int(-5i8..=5))),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        // Scaled up in validation sweeps via PROPTEST_CASES.
-        cases: std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(24),
-        ..ProptestConfig::default()
-    })]
+/// The generated-case tuple: worker bodies, repetition count, whether both
+/// threads run the same function, which optimization set, and the timing
+/// seed for the measured recording.
+#[derive(Debug, Clone)]
+struct ReplayCase {
+    body_a: Vec<Tmpl>,
+    body_b: Vec<Tmpl>,
+    reps: u8,
+    same_fn: bool,
+    opt_idx: usize,
+    seed: u64,
+}
 
-    /// Any generated racy program, under any optimization set, records and
-    /// replays identically across different timing seeds.
-    #[test]
-    fn generated_programs_replay_deterministically(
-        body_a in proptest::collection::vec(tmpl_strategy(), 2..6),
-        body_b in proptest::collection::vec(tmpl_strategy(), 2..6),
-        reps in 2u8..8,
-        same_fn in any::<bool>(),
-        opt_idx in 0usize..4,
-        seed in 0u64..1000,
-    ) {
-        let src = render_program(&body_a, &body_b, reps, same_fn);
-        let program = compile(&src).expect("generated source is valid MiniC");
-        let opts = [OptSet::naive(), OptSet::func_only(), OptSet::loop_only(), OptSet::all()]
-            [opt_idx].clone();
-        let cfg = PipelineConfig {
-            opts,
-            profile_seeds: vec![1, 2],
-            exec: ExecConfig::default(),
-        };
-        let analysis = analyze(&program, &cfg);
-        let m = measure(&analysis, &ExecConfig::default(), seed);
-        prop_assert!(
-            m.recording.result.outcome.is_exit(),
-            "recording failed: {:?}\n{src}",
-            m.recording.result.outcome
-        );
-        prop_assert!(m.deterministic, "replay diverged for:\n{src}");
-    }
+fn replay_case_gen() -> Gen<ReplayCase> {
+    let tmpls = || prop::vec_of(tmpl_gen(), 2..6);
+    let (a, b) = (tmpls(), tmpls());
+    Gen::new(move |s| ReplayCase {
+        body_a: s.draw(&a),
+        body_b: s.draw(&b),
+        reps: s.int(2u8..8),
+        same_fn: s.bool(),
+        opt_idx: s.int(0usize..4),
+        seed: s.int(0u64..1000),
+    })
+}
 
-    /// The static detector is *sound* on generated programs: every pair of
-    /// dynamic conflicting accesses from different threads must be covered
-    /// by the race report (checked indirectly: instrumenting all reported
-    /// races yields replay determinism — the assertion above — and
-    /// programs whose only shared accesses are lock-protected produce no
-    /// false negatives that break replay). Here we additionally check that
-    /// fully locked programs are reported race-free.
-    #[test]
-    fn fully_locked_generated_programs_are_race_free(
-        gs in proptest::collection::vec((any::<u8>(), -3i8..=3), 2..5),
-        reps in 2u8..6,
-    ) {
-        let body: Vec<Tmpl> = gs.iter().map(|(g, c)| Tmpl::Locked(*g, *c)).collect();
-        let mut src = render_program(&body, &body, reps, true);
-        // Also lock the main-thread initializers and summary reads: a
-        // lockset detector (rightly) reports main's bare accesses.
-        src = src.replace("g0 = 5; g1 = 3; g2 = 9;", "lock(&m); g0 = 5; g1 = 3; g2 = 9; unlock(&m);");
-        src = src.replace("s = g0 + g1 * 10 + g2 * 100;", "lock(&m); s = g0 + g1 * 10 + g2 * 100; unlock(&m);");
-        let program = compile(&src).expect("valid");
-        let races = chimera_relay::detect_races(&program);
-        // arr is untouched in this variant; all g accesses are locked.
-        prop_assert!(
-            races.pairs.is_empty(),
-            "lock-protected program reported racy:\n{}\n{src}",
-            races.describe(&program)
+/// Property body, shared by the generated sweep and the named regressions:
+/// the program records successfully and replays deterministically.
+fn check_replay_deterministic(case: &ReplayCase) -> Result<(), String> {
+    let src = render_program(&case.body_a, &case.body_b, case.reps, case.same_fn);
+    let program = compile(&src).expect("generated source is valid MiniC");
+    let opts = [OptSet::naive(), OptSet::func_only(), OptSet::loop_only(), OptSet::all()]
+        [case.opt_idx]
+        .clone();
+    let cfg = PipelineConfig {
+        opts,
+        profile_seeds: vec![1, 2],
+        exec: ExecConfig::default(),
+    };
+    let analysis = analyze(&program, &cfg);
+    let m = measure(&analysis, &ExecConfig::default(), case.seed);
+    prop_assert!(
+        m.recording.result.outcome.is_exit(),
+        "recording failed: {:?}\n{src}",
+        m.recording.result.outcome
+    );
+    prop_assert!(m.deterministic, "replay diverged for:\n{src}");
+    Ok(())
+}
+
+/// Property body for the fully-locked variant: the static detector must
+/// report such programs race-free.
+fn check_locked_race_free(gs: &[(u8, i8)], reps: u8) -> Result<(), String> {
+    let body: Vec<Tmpl> = gs.iter().map(|&(g, c)| Tmpl::Locked(g, c)).collect();
+    let mut src = render_program(&body, &body, reps, true);
+    // Also lock the main-thread initializers and summary reads: a
+    // lockset detector (rightly) reports main's bare accesses.
+    src = src.replace(
+        "g0 = 5; g1 = 3; g2 = 9;",
+        "lock(&m); g0 = 5; g1 = 3; g2 = 9; unlock(&m);",
+    );
+    src = src.replace(
+        "s = g0 + g1 * 10 + g2 * 100;",
+        "lock(&m); s = g0 + g1 * 10 + g2 * 100; unlock(&m);",
+    );
+    let program = compile(&src).expect("valid");
+    let races = chimera_relay::detect_races(&program);
+    // arr is untouched in this variant; all g accesses are locked.
+    prop_assert!(
+        races.pairs.is_empty(),
+        "lock-protected program reported racy:\n{}\n{src}",
+        races.describe(&program)
+    );
+    Ok(())
+}
+
+/// The sweep is deliberately smaller than the harness default (each case
+/// runs the full analyze/record/replay pipeline); `CHIMERA_TESTKIT_CASES`
+/// scales it up in validation sweeps.
+fn sweep_config() -> Config {
+    Config::from_env().with_cases(24)
+}
+
+/// Any generated racy program, under any optimization set, records and
+/// replays identically across different timing seeds.
+#[test]
+fn generated_programs_replay_deterministically() {
+    prop::check_config(
+        &sweep_config(),
+        "generated_programs_replay_deterministically",
+        &replay_case_gen(),
+        check_replay_deterministic,
+    );
+}
+
+/// The static detector is *sound* on generated programs: every pair of
+/// dynamic conflicting accesses from different threads must be covered
+/// by the race report (checked indirectly: instrumenting all reported
+/// races yields replay determinism — the assertion above — and
+/// programs whose only shared accesses are lock-protected produce no
+/// false negatives that break replay). Here we additionally check that
+/// fully locked programs are reported race-free.
+#[test]
+fn fully_locked_generated_programs_are_race_free() {
+    let gen = prop::vec_of(
+        Gen::new(|s| (s.int(0u8..=255), s.int(-3i8..=3))),
+        2..5,
+    );
+    let gen = prop::pair(gen, prop::ranged(2u8..6));
+    prop::check_config(
+        &sweep_config(),
+        "fully_locked_generated_programs_are_race_free",
+        &gen,
+        |(gs, reps)| check_locked_race_free(gs, *reps),
+    );
+}
+
+/// The generator itself is deterministic: the same case seed yields the
+/// same program source, and the static race report on it is identical.
+/// (This is the property that makes `CHIMERA_TESTKIT_SEED` replay — and
+/// the whole hermetic-test story — trustworthy.)
+#[test]
+fn same_generator_seed_same_program_and_race_report() {
+    let gen = replay_case_gen();
+    for seed in [0u64, 7, 42, 0xDEADBEEF, u64::MAX] {
+        let a = prop::sample_with_seed(&gen, seed);
+        let b = prop::sample_with_seed(&gen, seed);
+        let src_a = render_program(&a.body_a, &a.body_b, a.reps, a.same_fn);
+        let src_b = render_program(&b.body_a, &b.body_b, b.reps, b.same_fn);
+        assert_eq!(src_a, src_b, "seed {seed} produced two different programs");
+        let pa = compile(&src_a).expect("valid");
+        let pb = compile(&src_b).expect("valid");
+        let ra = chimera_relay::detect_races(&pa);
+        let rb = chimera_relay::detect_races(&pb);
+        assert_eq!(
+            ra.describe(&pa),
+            rb.describe(&pb),
+            "seed {seed} produced two different race reports"
         );
     }
+}
+
+// --- Named regressions -----------------------------------------------------
+//
+// Every shrunk counterexample from the retired
+// `generated_soundness.proptest-regressions` file, preserved as an explicit
+// test so no historical failure is ever lost.
+
+/// proptest regression `0ac7c604…`: shrank to `gs = [(0, 0), (0, 0)], reps = 2`.
+#[test]
+fn regression_locked_zero_increments_are_race_free() {
+    check_locked_race_free(&[(0, 0), (0, 0)], 2).unwrap();
+}
+
+/// proptest regression `de091b97…`: shrank to
+/// `body_a = [ArrayLoop(4), ArrayLoop(7)], body_b = [ArrayLoop(88), Locked(0, 0)],
+///  reps = 2, same_fn = false, opt_idx = 2, seed = 0`.
+#[test]
+fn regression_array_loops_under_loop_only_opts_replay() {
+    check_replay_deterministic(&ReplayCase {
+        body_a: vec![Tmpl::ArrayLoop(4), Tmpl::ArrayLoop(7)],
+        body_b: vec![Tmpl::ArrayLoop(88), Tmpl::Locked(0, 0)],
+        reps: 2,
+        same_fn: false,
+        opt_idx: 2,
+        seed: 0,
+    })
+    .unwrap();
+}
+
+/// proptest regression `c7d47e09…`: shrank to
+/// `body_a = [Scatter(114, 0), Bump(0, 0), Guarded(1, 0, 0), Bump(0, 0)],
+///  body_b = [Guarded(55, 4, 0), ArrayLoop(73)], reps = 4, same_fn = false,
+///  opt_idx = 2, seed = 115`.
+#[test]
+fn regression_scatter_guard_mix_under_loop_only_opts_replays() {
+    check_replay_deterministic(&ReplayCase {
+        body_a: vec![
+            Tmpl::Scatter(114, 0),
+            Tmpl::Bump(0, 0),
+            Tmpl::Guarded(1, 0, 0),
+            Tmpl::Bump(0, 0),
+        ],
+        body_b: vec![Tmpl::Guarded(55, 4, 0), Tmpl::ArrayLoop(73)],
+        reps: 4,
+        same_fn: false,
+        opt_idx: 2,
+        seed: 115,
+    })
+    .unwrap();
 }

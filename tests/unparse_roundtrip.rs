@@ -1,0 +1,70 @@
+//! Unparse → recompile round trip over the full workload corpus.
+//!
+//! `chimera_minic::unparse` renders a parsed unit back to MiniC source.
+//! If that rendering is faithful, recompiling it must yield a program the
+//! *analyses* cannot tell apart from the original: same race pairs, same
+//! instrumentation plan. This pins the unparser (and the parser's
+//! round-trip stability) against every checked-in workload, at both the
+//! evaluation and profiling input scales.
+
+use chimera::{analyze, PipelineConfig};
+use chimera_minic::{compile, lexer, parser, unparse};
+use chimera_workloads::all;
+
+/// Compile `src` directly and via an unparse round trip.
+fn round_trip(name: &str, src: &str) -> (chimera_minic::Program, chimera_minic::Program) {
+    let direct = compile(src).unwrap_or_else(|e| panic!("{name}: workload does not compile: {e}"));
+    let tokens = lexer::lex(src).unwrap_or_else(|e| panic!("{name}: lex failed: {e}"));
+    let unit = parser::parse(&tokens).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+    let rendered = unparse::unit_to_source(&unit);
+    let reparsed = compile(&rendered)
+        .unwrap_or_else(|e| panic!("{name}: unparse broke the source: {e}\n{rendered}"));
+    (direct, reparsed)
+}
+
+/// A plan fingerprint: `Plan` deliberately has no `PartialEq` (it holds
+/// derived stats), so compare the complete Debug rendering — any drift in
+/// lock placement, granularity, or clique structure shows up here.
+fn plan_fingerprint(p: &chimera_minic::Program) -> (usize, String) {
+    let analysis = analyze(p, &PipelineConfig::default());
+    (
+        analysis.races.pairs.len(),
+        format!("{:?}", analysis.plan),
+    )
+}
+
+#[test]
+fn every_workload_analyzes_identically_after_unparse() {
+    for w in all() {
+        let params = w.eval_params(2);
+        let (direct, reparsed) = round_trip(w.name, &w.source(&params));
+        let (races_a, plan_a) = plan_fingerprint(&direct);
+        let (races_b, plan_b) = plan_fingerprint(&reparsed);
+        assert_eq!(
+            races_a, races_b,
+            "{}: race-pair count changed across unparse round trip",
+            w.name
+        );
+        assert_eq!(
+            plan_a, plan_b,
+            "{}: weak-lock plan changed across unparse round trip",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn profile_scale_sources_also_round_trip() {
+    // The profiling inputs exercise different loop bounds and worker
+    // counts; the rendered source must stay faithful there too.
+    for w in all() {
+        let params = w.profile_params(0);
+        let (direct, reparsed) = round_trip(w.name, &w.source(&params));
+        assert_eq!(
+            chimera_minic::pretty::program_to_string(&direct),
+            chimera_minic::pretty::program_to_string(&reparsed),
+            "{}: IR diverged after unparse round trip at profile scale",
+            w.name
+        );
+    }
+}
