@@ -17,6 +17,16 @@ cargo build --offline --benches
 echo "== test (offline) =="
 cargo test -q --offline
 
+echo "== clippy (deny warnings) =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "== points-to scaling smoke (1 sample) =="
+# One sample per benchmark just proves the naive and worklist solvers both
+# still run at every N. CHIMERA_BENCH_JSON stays unset so this never
+# clobbers the committed BENCH_pta.json (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench pta_scaling
+
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)
 # must be a workspace-local chimera-* crate. `cargo tree` also emits

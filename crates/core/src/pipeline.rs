@@ -141,19 +141,27 @@ pub struct TrialSummary {
 }
 
 /// Run `trials` seeded measurements and average.
+///
+/// Trials are independent, so they run in parallel via
+/// [`chimera_runtime::par_map`] (set `CHIMERA_SERIAL=1` to force a serial
+/// loop). The summary folds in trial order, so the floating-point sums —
+/// and therefore the reported means — are bit-identical to the serial
+/// loop's.
 pub fn measure_trials(analysis: &Analysis, exec: &ExecConfig, trials: u32) -> TrialSummary {
+    let seeds: Vec<u64> = (0..trials.max(1)).map(|t| 100 + t as u64 * 7).collect();
+    let measurements =
+        chimera_runtime::par_map(&seeds, |&seed| measure(analysis, exec, seed));
     let mut sum_rec = 0.0;
     let mut sum_rep = 0.0;
     let mut all_det = true;
     let mut last = None;
-    for t in 0..trials.max(1) {
-        let m = measure(analysis, exec, 100 + t as u64 * 7);
+    for m in measurements {
         sum_rec += m.record_overhead;
         sum_rep += m.replay_overhead;
         all_det &= m.deterministic;
         last = Some(m);
     }
-    let n = trials.max(1) as f64;
+    let n = seeds.len() as f64;
     TrialSummary {
         record_overhead: sum_rec / n,
         replay_overhead: sum_rep / n,
@@ -199,6 +207,36 @@ mod tests {
         assert!(s.all_deterministic);
         assert!(s.record_overhead > 0.5);
         assert!(s.last.is_some());
+    }
+
+    #[test]
+    fn parallel_trials_match_serial_reconstruction() {
+        // measure_trials fans seeds out across threads but folds in trial
+        // order; rebuilding the summary with an explicit serial loop must
+        // give bit-identical overheads and the same last measurement.
+        let p = compile(RACY).unwrap();
+        let a = analyze(&p, &PipelineConfig::default());
+        let exec = ExecConfig::default();
+        let trials = 4u32;
+        let s = measure_trials(&a, &exec, trials);
+        let mut sum_rec = 0.0;
+        let mut sum_rep = 0.0;
+        let mut all_det = true;
+        let mut last = None;
+        for t in 0..trials {
+            let m = measure(&a, &exec, 100 + t as u64 * 7);
+            sum_rec += m.record_overhead;
+            sum_rep += m.replay_overhead;
+            all_det &= m.deterministic;
+            last = Some(m);
+        }
+        assert_eq!(s.record_overhead, sum_rec / trials as f64);
+        assert_eq!(s.replay_overhead, sum_rep / trials as f64);
+        assert_eq!(s.all_deterministic, all_det);
+        let (sl, l) = (s.last.unwrap(), last.unwrap());
+        assert_eq!(sl.baseline.makespan, l.baseline.makespan);
+        assert_eq!(sl.recording.result.makespan, l.recording.result.makespan);
+        assert_eq!(sl.deterministic, l.deterministic);
     }
 
     #[test]

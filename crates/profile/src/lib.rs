@@ -199,14 +199,22 @@ pub fn profile_once(program: &Program, config: &ExecConfig) -> ProfileData {
 
 /// Profile `program` over several seeds (standing in for the paper's
 /// "various inputs") and merge the results.
+///
+/// Runs are independent, so they execute in parallel via
+/// [`chimera_runtime::par_map`] (set `CHIMERA_SERIAL=1` to force a serial
+/// loop). Merging always folds in seed order, so the result is identical to
+/// the serial loop's regardless of thread scheduling.
 pub fn profile_runs(program: &Program, base: &ExecConfig, seeds: &[u64]) -> ProfileData {
-    let mut merged = ProfileData::default();
-    for &seed in seeds {
+    let per_seed = chimera_runtime::par_map(seeds, |&seed| {
         let cfg = ExecConfig {
             seed,
             ..base.clone()
         };
-        merged.merge(&profile_once(program, &cfg));
+        profile_once(program, &cfg)
+    });
+    let mut merged = ProfileData::default();
+    for data in &per_seed {
+        merged.merge(data);
     }
     merged
 }
@@ -335,6 +343,30 @@ mod tests {
         .unwrap();
         let d = profile_runs(&p, &ExecConfig::default(), &[1]);
         assert!(!d.likely_non_concurrent("never", "main"));
+    }
+
+    #[test]
+    fn parallel_merge_equals_serial_merge() {
+        // profile_runs fans seeds out across threads; the merged result
+        // must be exactly what a serial per-seed fold produces.
+        let p = compile(
+            "int g; lock_t m;
+             void w(int n) { int i; for (i = 0; i < 200; i = i + 1) {
+                lock(&m); g = g + 1; unlock(&m); } }
+             int main() { int t1; int t2;
+                t1 = spawn(w, 0); t2 = spawn(w, 0); w(0);
+                join(t1); join(t2); return 0; }",
+        )
+        .unwrap();
+        let base = ExecConfig::default();
+        let seeds: Vec<u64> = (0..12).map(|i| i * 31 + 5).collect();
+        let parallel = profile_runs(&p, &base, &seeds);
+        let mut serial = ProfileData::default();
+        for &seed in &seeds {
+            let cfg = ExecConfig { seed, ..base.clone() };
+            serial.merge(&profile_once(&p, &cfg));
+        }
+        assert_eq!(parallel, serial);
     }
 
     #[test]

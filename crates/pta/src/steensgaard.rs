@@ -145,11 +145,15 @@ impl Steensgaard {
                 self.unify_values(p_t, self.var_node(func, *v));
             }
             Instr::Call { dst, callee, args } | Instr::Spawn { dst, callee, args } => {
-                let targets: Vec<FuncId> = match callee {
-                    Callee::Direct(t) => vec![*t],
-                    Callee::Indirect(_) => addr_taken_funcs.to_vec(),
+                let direct;
+                let targets: &[FuncId] = match callee {
+                    Callee::Direct(t) => {
+                        direct = [*t];
+                        &direct
+                    }
+                    Callee::Indirect(_) => addr_taken_funcs,
                 };
-                for t in targets {
+                for &t in targets {
                     let tf = &program.funcs[t.index()];
                     for (ai, arg) in args.iter().enumerate() {
                         if ai >= tf.params.len() {
@@ -236,10 +240,10 @@ impl Steensgaard {
         };
         let tr = self.find(t);
         let mut out = BTreeSet::new();
-        for (oid, _) in self.objects.clone().iter() {
-            let onode = self.n_obj_base + oid.index();
+        for i in 0..self.objects.len() {
+            let onode = self.n_obj_base + i;
             if self.find(onode) == tr {
-                out.insert(oid);
+                out.insert(ObjId(i as u32));
             }
         }
         out

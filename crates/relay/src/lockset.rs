@@ -109,6 +109,9 @@ impl LocksetAnalysis {
             minus: oracle.objects.iter().map(|(id, _)| id).collect(),
         };
         let mut summaries: Vec<FuncSummary> = vec![pessimistic.clone(); n];
+        // Address-taken functions, computed once; every indirect call site
+        // shares this slice rather than re-walking the whole program.
+        let indirect = indirect_targets_of(program);
 
         // Bottom-up over SCCs. Within an SCC, callee summaries start
         // pessimistic (acquire nothing, possibly release everything) which
@@ -117,7 +120,7 @@ impl LocksetAnalysis {
             for _round in 0..2 {
                 for &f in &scc {
                     let (summary, _, _) =
-                        analyze_function(program, f, &summaries, oracle);
+                        analyze_function(program, f, &summaries, oracle, &indirect);
                     summaries[f.index()] = summary;
                 }
             }
@@ -128,7 +131,8 @@ impl LocksetAnalysis {
         let mut guarded = Vec::new();
         let mut call_sites = Vec::new();
         for f in &program.funcs {
-            let (_, mut g, mut cs) = analyze_function(program, f.id, &summaries, oracle);
+            let (_, mut g, mut cs) =
+                analyze_function(program, f.id, &summaries, oracle, &indirect);
             guarded.append(&mut g);
             call_sites.append(&mut cs);
         }
@@ -194,6 +198,7 @@ fn analyze_function(
     fid: FuncId,
     summaries: &[FuncSummary],
     oracle: &AliasOracle,
+    indirect: &[FuncId],
 ) -> (FuncSummary, Vec<GuardedAccess>, Vec<CallSiteState>) {
     let f = &program.funcs[fid.index()];
     let nb = f.blocks.len();
@@ -207,7 +212,7 @@ fn analyze_function(
             .expect("worklist only holds reached blocks");
         let block = f.block(b);
         for (ii, i) in block.instrs.iter().enumerate() {
-            transfer(fid, b, ii as u32, i, &mut state, summaries, oracle, program);
+            transfer(fid, b, ii as u32, i, &mut state, summaries, oracle, indirect);
         }
         for succ in block.term.successors() {
             let next = match &entry_state[succ.index()] {
@@ -242,7 +247,7 @@ fn analyze_function(
                 Instr::Call { callee, .. } => {
                     let targets = match callee {
                         Callee::Direct(t) => vec![*t],
-                        Callee::Indirect(_) => indirect_targets_of(program),
+                        Callee::Indirect(_) => indirect.to_vec(),
                     };
                     call_sites.push(CallSiteState {
                         caller: fid,
@@ -258,7 +263,7 @@ fn analyze_function(
                 }
                 _ => {}
             }
-            transfer(fid, b, ii as u32, i, &mut state, summaries, oracle, program);
+            transfer(fid, b, ii as u32, i, &mut state, summaries, oracle, indirect);
         }
         if matches!(block.term, Terminator::Return(_)) {
             exit = Some(match exit {
@@ -296,7 +301,7 @@ fn transfer(
     state: &mut RelLockset,
     summaries: &[FuncSummary],
     oracle: &AliasOracle,
-    _program: &Program,
+    indirect: &[FuncId],
 ) {
     match i {
         Instr::Lock { .. } => {
@@ -321,7 +326,7 @@ fn transfer(
                 Callee::Indirect(_) => {
                     // Meet of all possible targets, pessimistically seeded.
                     let mut acc: Option<RelLockset> = None;
-                    for t in indirect_targets_of(_program) {
+                    for t in indirect {
                         let s = &summaries[t.index()];
                         acc = Some(match acc {
                             None => s.clone(),

@@ -192,41 +192,57 @@ pub fn find_races(
         AbsObj::Func(_) => false,
     };
 
-    // Candidate accesses: non-empty shareable object sets.
+    // Candidate accesses: non-empty shareable object sets, indexed by
+    // object so pair generation is proportional to real aliasing (the sum
+    // of squared bucket sizes) instead of quadratic in all candidates.
     let mut candidates: Vec<(AccessId, BTreeSet<ObjId>)> = Vec::new();
+    let mut by_object: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
     for (aid, objs) in oracle.access_objs.iter().enumerate() {
         let shared: BTreeSet<ObjId> = objs.iter().copied().filter(|o| shareable(*o)).collect();
         if !shared.is_empty() {
+            let idx = candidates.len();
+            for &o in &shared {
+                by_object.entry(o).or_default().push(idx);
+            }
             candidates.push((AccessId(aid as u32), shared));
         }
     }
 
-    let mut report = RaceReport::default();
-    let mut seen: BTreeSet<RacePair> = BTreeSet::new();
-    for i in 0..candidates.len() {
-        for j in i..candidates.len() {
-            let (a, objs_a) = &candidates[i];
-            let (b, objs_b) = &candidates[j];
-            let ia = program.access(*a);
-            let ib = program.access(*b);
-            if !ia.is_write && !ib.is_write {
-                continue;
-            }
-            if !threads.may_be_parallel(ia.func, ib.func) {
-                continue;
-            }
-            let Some(&witness) = objs_a.intersection(objs_b).next() else {
-                continue;
-            };
-            if !lockset.lockset_of(*a).is_disjoint(lockset.lockset_of(*b)) {
-                continue;
-            }
-            let pair = RacePair::new(*a, *b);
-            if seen.insert(pair) {
-                report.witnesses.insert(pair, witness);
-                report.pairs.push(pair);
+    // Two candidates can race only if some bucket holds both; collecting
+    // the index pairs into an ordered set deduplicates multi-object
+    // overlaps and reproduces the ascending (i, j) emission order of the
+    // old exhaustive scan exactly.
+    let mut pair_idxs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for bucket in by_object.values() {
+        for (k, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[k..] {
+                pair_idxs.insert((i, j));
             }
         }
+    }
+
+    let mut report = RaceReport::default();
+    for (i, j) in pair_idxs {
+        let (a, objs_a) = &candidates[i];
+        let (b, objs_b) = &candidates[j];
+        let ia = program.access(*a);
+        let ib = program.access(*b);
+        if !ia.is_write && !ib.is_write {
+            continue;
+        }
+        if !threads.may_be_parallel(ia.func, ib.func) {
+            continue;
+        }
+        let witness = *objs_a
+            .intersection(objs_b)
+            .next()
+            .expect("bucketed candidates share an object");
+        if !lockset.lockset_of(*a).is_disjoint(lockset.lockset_of(*b)) {
+            continue;
+        }
+        let pair = RacePair::new(*a, *b);
+        report.witnesses.insert(pair, witness);
+        report.pairs.push(pair);
     }
     report
 }

@@ -33,11 +33,13 @@ pub mod cost;
 pub mod event;
 pub mod machine;
 pub mod memory;
+pub mod parallel;
 pub mod stats;
 pub mod sync;
 pub mod world;
 
 pub use cost::{CostModel, Jitter};
+pub use parallel::{par_map, serial_requested};
 pub use event::{Event, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId};
 pub use machine::{execute, execute_supervised, ExecConfig, ExecResult, Outcome};
 pub use memory::{Memory, RegionKind};

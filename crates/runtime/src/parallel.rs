@@ -1,0 +1,110 @@
+//! Deterministic scoped parallelism for embarrassingly parallel outer
+//! loops (profile runs over seeds, measurement trials).
+//!
+//! [`par_map`] fans work out over `std::thread::scope` workers pulling
+//! indices from a shared atomic counter, then reassembles results **in
+//! input order** — so callers that fold the output sequentially get
+//! bit-identical results to a serial loop, regardless of OS scheduling.
+//! Setting `CHIMERA_SERIAL=1` (any non-empty value other than `0`) forces
+//! the serial path, as an escape hatch for debugging and for environments
+//! where spawning threads is undesirable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Has the user asked for serial execution via `CHIMERA_SERIAL`?
+pub fn serial_requested() -> bool {
+    std::env::var_os("CHIMERA_SERIAL").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Apply `f` to every item, in parallel, returning results in input order.
+///
+/// Spawns at most `available_parallelism` scoped workers; falls back to a
+/// plain serial loop for zero or one item, when only one worker is
+/// available, or when [`serial_requested`] is set. Panics in `f` propagate
+/// to the caller (the scope joins every worker first).
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if n <= 1 || workers <= 1 || serial_requested() {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, U)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, next) = (&f, &next);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, u) in per_worker.into_iter().flatten() {
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map_on_stateful_work() {
+        // Work whose cost varies wildly by index, so workers finish out of
+        // order — the output must still be index-ordered.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&i| {
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        });
+        let serial: Vec<u64> = items
+            .iter()
+            .map(|&i| {
+                let mut acc = i;
+                for _ in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -17,7 +17,11 @@
 //! Environment knobs: `CHIMERA_BENCH_SAMPLES` (default 15) and
 //! `CHIMERA_BENCH_WARMUP` (default 3) override the per-bench iteration
 //! counts — CI smoke runs set both to 1. A single CLI argument acts as a
-//! substring filter on `group/id` names, like criterion's.
+//! substring filter on `group/id` names, like criterion's. Setting
+//! `CHIMERA_BENCH_JSON=<path>` additionally writes the results as a JSON
+//! array to `<path>` — committed scaling data (e.g. `BENCH_pta.json`) is
+//! produced this way, and CI smoke runs, which leave the variable unset,
+//! never clobber it.
 
 use std::time::{Duration, Instant};
 
@@ -101,11 +105,19 @@ impl Runner {
         }
     }
 
-    /// Print the aligned report for every benchmark run so far.
+    /// Print the aligned report for every benchmark run so far, and write
+    /// the JSON report if `CHIMERA_BENCH_JSON` names a path.
     pub fn finish(self) {
         if self.results.is_empty() {
             println!("no benchmarks matched the filter");
             return;
+        }
+        if let Some(path) = std::env::var_os("CHIMERA_BENCH_JSON") {
+            let json = json_report(&self.results);
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("wrote {}", path.to_string_lossy()),
+                Err(e) => eprintln!("CHIMERA_BENCH_JSON write failed: {e}"),
+            }
         }
         let mut rows = vec![vec![
             "benchmark".to_string(),
@@ -200,6 +212,29 @@ impl Group<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// Render results as a stable, human-diffable JSON array (one object per
+/// benchmark, durations in nanoseconds). Hand-rolled: the workspace is
+/// hermetic, so no serde — names contain only `[A-Za-z0-9_/.-]` in
+/// practice, but escape quotes and backslashes anyway.
+pub fn json_report(results: &[BenchStats]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}{}\n",
+            name,
+            r.samples,
+            r.min.as_nanos(),
+            r.median.as_nanos(),
+            r.p95.as_nanos(),
+            r.max.as_nanos(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
@@ -256,6 +291,21 @@ mod tests {
         assert_eq!(skipped, 0);
         assert_eq!(runner.results.len(), 1);
         assert!(runner.results[0].name == "g/keep_me");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let results = vec![
+            stats_of("g/a", vec![Duration::from_micros(5), Duration::from_micros(9)]),
+            stats_of("g/\"b\"", vec![Duration::from_nanos(42)]),
+        ];
+        let json = json_report(&results);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"name\": \"g/a\""));
+        assert!(json.contains("\"min_ns\": 5000"));
+        assert!(json.contains("\"name\": \"g/\\\"b\\\"\""), "{json}");
+        assert_eq!(json.matches('{').count(), 2);
+        assert_eq!(json.matches("},").count(), 1, "all but last comma-separated");
     }
 
     #[test]

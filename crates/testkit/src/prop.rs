@@ -100,6 +100,9 @@ impl Source {
     }
 
     /// The raw words handed out so far.
+    // The tape IS the recorded word stream; the field name describes the
+    // mechanism, the method name the concept.
+    #[allow(clippy::misnamed_getters)]
     pub fn tape(&self) -> &[u64] {
         &self.recorded
     }
@@ -473,8 +476,10 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let mut cfg = Config::default();
-        cfg.cases = 50;
+        let cfg = Config {
+            cases: 50,
+            ..Config::default()
+        };
         let counted = std::cell::Cell::new(0u32);
         check_config(&cfg, "counts", &ranged(0u32..10), |_| {
             counted.set(counted.get() + 1);
@@ -568,8 +573,10 @@ mod tests {
 
     #[test]
     fn replay_seed_runs_exactly_one_case() {
-        let mut cfg = Config::default();
-        cfg.replay_seed = Some(777);
+        let cfg = Config {
+            replay_seed: Some(777),
+            ..Config::default()
+        };
         let counted = std::cell::Cell::new(0u32);
         check_config(&cfg, "replay_once", &any_u64(), |_| {
             counted.set(counted.get() + 1);
