@@ -17,6 +17,12 @@ cargo build --offline --benches
 echo "== test (offline) =="
 cargo test -q --offline
 
+echo "== interpreter differential suite (flat vs reference) =="
+# Byte-identical results and traces across both stepping implementations
+# on every workload and 64 generated racy programs (DESIGN.md §8). Runs
+# in the suite above too; invoked explicitly so a failure is unmissable.
+cargo test -q --offline --test vm_differential
+
 echo "== clippy (deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -26,6 +32,12 @@ echo "== points-to scaling smoke (1 sample) =="
 # clobbers the committed BENCH_pta.json (see EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench pta_scaling
+
+echo "== interpreter scaling smoke (1 sample) =="
+# Proves both stepping paths still run every bench workload; committed
+# BENCH_vm.json is refreshed manually (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench interp_scaling
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

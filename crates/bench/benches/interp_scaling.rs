@@ -1,0 +1,83 @@
+//! Interpreter hot-loop scaling: the pre-decoded flat stepping path vs the
+//! block-structured clone-per-step reference path (DESIGN.md "VM
+//! internals").
+//!
+//! Two workload groups from the paper's benchmark suite pin the speedup
+//! from both ends of the instruction mix:
+//!
+//! * **memory-bound** (`radix`, `ocean`): long loops of loads/stores with
+//!   little synchronization — dominated by per-instruction dispatch, so
+//!   the clone-free decode and `(func, pc)` frames show up directly.
+//! * **sync-heavy** (`pfscan`, `apache`): mutex/condvar handoffs and
+//!   shared counters — dominated by sync-table lookups and scheduler
+//!   rescans, so the dense sync tables and burst scheduling show up.
+//!
+//! Both paths produce byte-identical results (pinned by
+//! `tests/vm_differential.rs`); the bench measures speed only, and prints
+//! each configuration's instructions/second once before sampling.
+//!
+//! Runs as a plain binary on `chimera-testkit`'s bench runner:
+//! `cargo bench --bench interp_scaling [filter]`. To refresh the committed
+//! data: `CHIMERA_BENCH_JSON=BENCH_vm.json cargo bench --bench
+//! interp_scaling`.
+
+use chimera_runtime::{execute_mode, ExecConfig, InterpMode, Jitter};
+use chimera_testkit::bench::Runner;
+use chimera_workloads::{by_name, Params};
+
+const MEMORY_BOUND: &[&str] = &["radix", "ocean"];
+const SYNC_HEAVY: &[&str] = &["pfscan", "apache"];
+
+fn main() {
+    let mut runner = Runner::from_args();
+    for (family, names) in [("memory", MEMORY_BOUND), ("sync", SYNC_HEAVY)] {
+        for name in names {
+            let w = by_name(name).expect("paper workload exists");
+            let p = w
+                .compile(&Params {
+                    workers: 4,
+                    scale: 8,
+                })
+                .expect("workload compiles");
+            // Jitter off: the per-step jitter draw and the schedule
+            // perturbations it causes are identical in both modes, and
+            // they bury the dispatch cost this bench isolates (the
+            // differential suite exercises both paths *with* default
+            // jitter — speed is measured here, equivalence there).
+            let cfg = ExecConfig {
+                seed: 42,
+                jitter: Jitter::none(),
+                ..ExecConfig::default()
+            };
+            // One untimed run per mode for the throughput report (and to
+            // fail loudly here rather than mid-sampling if a workload
+            // stops exiting cleanly).
+            for (mode, label) in [
+                (InterpMode::Flat, "flat"),
+                (InterpMode::Reference, "reference"),
+            ] {
+                let start = std::time::Instant::now();
+                let r = execute_mode(&p, &cfg, mode);
+                let elapsed = start.elapsed();
+                assert!(r.outcome.is_exit(), "{name}: {:?}", r.outcome);
+                eprintln!(
+                    "{family}/{name} {label}: {:.2}M instrs/sec ({} instrs)",
+                    r.stats.instrs_per_sec(elapsed) / 1e6,
+                    r.stats.instrs,
+                );
+            }
+            let mut group = runner.group("interp_scaling");
+            group.sample_size(10);
+            group.bench(&format!("flat/{family}/{name}"), || {
+                let r = execute_mode(&p, &cfg, InterpMode::Flat);
+                std::hint::black_box(&r);
+            });
+            group.bench(&format!("reference/{family}/{name}"), || {
+                let r = execute_mode(&p, &cfg, InterpMode::Reference);
+                std::hint::black_box(&r);
+            });
+            group.finish();
+        }
+    }
+    runner.finish();
+}

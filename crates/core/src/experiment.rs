@@ -53,7 +53,7 @@ pub fn analyze_workload(
     let cfg = PipelineConfig {
         opts: opts.clone(),
         profile_seeds: Vec::new(),
-        exec: exec.clone(),
+        exec: *exec,
     };
     analyze_with_profile(&program, profile, &cfg)
 }
@@ -188,7 +188,7 @@ pub fn fig7_breakdown(
         &a.instrumented,
         &ExecConfig {
             seed,
-            ..exec.clone()
+            ..*exec
         },
     );
     let free = chimera_replay::record(
@@ -196,7 +196,7 @@ pub fn fig7_breakdown(
         &ExecConfig {
             seed,
             weak_always_succeed: true,
-            ..exec.clone()
+            ..*exec
         },
     );
     Breakdown {
@@ -268,14 +268,14 @@ pub fn ablation_row(
         &program,
         &ExecConfig {
             seed: 100,
-            ..exec.clone()
+            ..*exec
         },
     );
     let leap_rec = chimera_replay::record(
         &leap_prog,
         &ExecConfig {
             seed: 100,
-            ..exec.clone()
+            ..*exec
         },
     );
     let leap_overhead = if base.makespan == 0 {

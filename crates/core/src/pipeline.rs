@@ -103,13 +103,13 @@ pub struct Measurement {
 pub fn measure(analysis: &Analysis, exec: &ExecConfig, seed: u64) -> Measurement {
     let base_cfg = ExecConfig {
         seed,
-        ..exec.clone()
+        ..*exec
     };
     let baseline = execute(&analysis.program, &base_cfg);
     let recording = record(&analysis.instrumented, &base_cfg);
     let replay_cfg = ExecConfig {
         seed: seed.wrapping_mul(0x9e3779b9).wrapping_add(1),
-        ..exec.clone()
+        ..*exec
     };
     let rep = replay(&analysis.instrumented, &recording.logs, &replay_cfg);
     let deterministic =

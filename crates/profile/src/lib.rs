@@ -40,7 +40,9 @@
 use chimera_minic::cfg::{Cfg, Dominators};
 use chimera_minic::ir::{BlockId, FuncId, Program};
 use chimera_minic::loops::LoopForest;
-use chimera_runtime::{execute_supervised, Event, ExecConfig, Supervisor, ThreadId};
+use chimera_runtime::{
+    execute_supervised, Event, EventKind, EventMask, ExecConfig, Supervisor, ThreadId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Merged profiling facts across runs.
@@ -120,6 +122,12 @@ struct ConcurrencyObserver {
 }
 
 impl Supervisor for ConcurrencyObserver {
+    /// Concurrency is derived purely from function enter/exit pairs — the
+    /// machine can skip constructing every other event kind.
+    fn event_mask(&self) -> EventMask {
+        EventMask::of(&[EventKind::FuncEnter, EventKind::FuncExit])
+    }
+
     fn on_event(&mut self, ev: &Event) {
         match ev {
             Event::FuncEnter { thread, func, .. } => {
@@ -157,7 +165,7 @@ pub fn profile_once(program: &Program, config: &ExecConfig) -> ProfileData {
         log_sync: false,
         log_weak: false,
         log_input: false,
-        ..config.clone()
+        ..*config
     };
     let result = execute_supervised(program, &cfg, &mut obs);
 
@@ -208,7 +216,7 @@ pub fn profile_runs(program: &Program, base: &ExecConfig, seeds: &[u64]) -> Prof
     let per_seed = chimera_runtime::par_map(seeds, |&seed| {
         let cfg = ExecConfig {
             seed,
-            ..base.clone()
+            ..*base
         };
         profile_once(program, &cfg)
     });
@@ -363,7 +371,7 @@ mod tests {
         let parallel = profile_runs(&p, &base, &seeds);
         let mut serial = ProfileData::default();
         for &seed in &seeds {
-            let cfg = ExecConfig { seed, ..base.clone() };
+            let cfg = ExecConfig { seed, ..base };
             serial.merge(&profile_once(&p, &cfg));
         }
         assert_eq!(parallel, serial);

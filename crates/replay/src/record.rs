@@ -4,7 +4,7 @@
 use crate::logs::ReplayLogs;
 use chimera_minic::ir::Program;
 use chimera_runtime::{
-    execute_supervised, Event, ExecConfig, ExecResult, Supervisor,
+    execute_supervised, Event, EventKind, EventMask, ExecConfig, ExecResult, Supervisor,
 };
 use std::collections::BTreeMap;
 
@@ -29,7 +29,7 @@ pub fn record(program: &Program, base: &ExecConfig) -> Recording {
         log_weak: true,
         log_input: true,
         timeout_enabled: true,
-        ..base.clone()
+        ..*base
     };
     let mut sup = Recorder::default();
     let result = execute_supervised(program, &config, &mut sup);
@@ -48,6 +48,18 @@ pub struct Recorder {
 }
 
 impl Supervisor for Recorder {
+    /// Recording only consumes the event kinds it logs; the machine skips
+    /// constructing the rest (notably per-call `FuncEnter`/`FuncExit`).
+    fn event_mask(&self) -> EventMask {
+        EventMask::of(&[
+            EventKind::Input,
+            EventKind::Sync,
+            EventKind::Output,
+            EventKind::WeakAcquire,
+            EventKind::WeakForcedRelease,
+        ])
+    }
+
     fn on_event(&mut self, ev: &Event) {
         match ev {
             Event::Input {

@@ -4,7 +4,8 @@
 use crate::logs::ReplayLogs;
 use chimera_minic::ir::{Program, WeakLockId};
 use chimera_runtime::{
-    execute_supervised, Event, ExecConfig, ExecResult, OrderPoint, Supervisor, ThreadId,
+    execute_supervised, Event, EventKind, EventMask, ExecConfig, ExecResult, OrderPoint,
+    Supervisor, ThreadId,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -31,7 +32,7 @@ pub fn replay(program: &Program, logs: &ReplayLogs, base: &ExecConfig) -> Replay
         log_weak: false,
         log_input: false,
         timeout_enabled: false,
-        ..base.clone()
+        ..*base
     };
     let mut sup = Replayer::new(logs.clone());
     let result = execute_supervised(program, &config, &mut sup);
@@ -112,6 +113,23 @@ impl Replayer {
 }
 
 impl Supervisor for Replayer {
+    /// Replay tracks log positions off these kinds only.
+    fn event_mask(&self) -> EventMask {
+        EventMask::of(&[
+            EventKind::Sync,
+            EventKind::Output,
+            EventKind::WeakAcquire,
+            EventKind::WeakForcedRelease,
+        ])
+    }
+
+    /// The machine must poll [`Supervisor::forced_release_at`] between
+    /// every pair of steps whenever the recording contains forced
+    /// releases — batching steps would skip recorded preemption points.
+    fn injects_forced_releases(&self) -> bool {
+        !self.logs.forced.is_empty()
+    }
+
     fn may_proceed(&mut self, point: OrderPoint, thread: ThreadId) -> bool {
         match point {
             OrderPoint::Mutex(addr) => {

@@ -111,6 +111,76 @@ pub enum Event {
     Exited { thread: ThreadId, time: u64 },
 }
 
+/// The kind of an [`Event`] — one bit position in an [`EventMask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variants mirror the Event variants
+pub enum EventKind {
+    FuncEnter,
+    FuncExit,
+    Sync,
+    WeakAcquire,
+    WeakRelease,
+    WeakForcedRelease,
+    Input,
+    Output,
+    Spawned,
+    Exited,
+}
+
+impl Event {
+    /// This event's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::FuncEnter { .. } => EventKind::FuncEnter,
+            Event::FuncExit { .. } => EventKind::FuncExit,
+            Event::Sync { .. } => EventKind::Sync,
+            Event::WeakAcquire { .. } => EventKind::WeakAcquire,
+            Event::WeakRelease { .. } => EventKind::WeakRelease,
+            Event::WeakForcedRelease { .. } => EventKind::WeakForcedRelease,
+            Event::Input { .. } => EventKind::Input,
+            Event::Output { .. } => EventKind::Output,
+            Event::Spawned { .. } => EventKind::Spawned,
+            Event::Exited { .. } => EventKind::Exited,
+        }
+    }
+}
+
+/// A set of [`EventKind`]s a supervisor wants delivered.
+///
+/// The machine queries [`Supervisor::event_mask`] once per execution and
+/// skips *constructing* events nobody consumes (unless `collect_trace`
+/// keeps the full trace), so a supervisor that only reads sync events
+/// never pays for `Vec`-carrying input/output payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventMask(u16);
+
+impl EventMask {
+    /// The empty mask: deliver nothing.
+    pub const NONE: EventMask = EventMask(0);
+    /// Every event kind (the default supervisor contract).
+    pub const ALL: EventMask = EventMask(u16::MAX);
+
+    /// A mask of exactly these kinds.
+    pub fn of(kinds: &[EventKind]) -> EventMask {
+        let mut m = EventMask::NONE;
+        for k in kinds {
+            m.0 |= 1 << *k as u16;
+        }
+        m
+    }
+
+    /// Is `kind` in the mask?
+    #[inline]
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & (1 << kind as u16) != 0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+}
+
 /// A point whose global order the replayer must be able to enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OrderPoint {
@@ -135,7 +205,24 @@ pub enum OrderPoint {
 /// execution. `chimera-replay` implements recording and replaying
 /// supervisors; `chimera-profile` implements an observing one.
 pub trait Supervisor {
-    /// Called after every committed event, in commit order.
+    /// Which event kinds this supervisor's [`Supervisor::on_event`] actually
+    /// consumes. The machine queries this once per execution and never
+    /// constructs or delivers events outside the mask (the trace collected
+    /// under `collect_trace` is unaffected). The default is
+    /// [`EventMask::ALL`], so existing supervisors keep seeing everything.
+    fn event_mask(&self) -> EventMask {
+        EventMask::ALL
+    }
+
+    /// True if this supervisor may ever answer
+    /// [`Supervisor::forced_release_at`] with `Some` (the replayer does).
+    /// When `false`, the machine may batch consecutive steps of one thread
+    /// without polling for injected releases between them.
+    fn injects_forced_releases(&self) -> bool {
+        false
+    }
+
+    /// Called after every committed event in the mask, in commit order.
     fn on_event(&mut self, _ev: &Event) {}
 
     /// May `thread` commit the next operation at `point` now? Returning
@@ -176,7 +263,13 @@ pub trait Supervisor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSupervisor;
 
-impl Supervisor for NullSupervisor {}
+impl Supervisor for NullSupervisor {
+    /// Plain execution observes nothing, so the machine skips event
+    /// construction entirely (unless a trace is being collected).
+    fn event_mask(&self) -> EventMask {
+        EventMask::NONE
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -193,5 +286,38 @@ mod tests {
     #[test]
     fn thread_id_display() {
         assert_eq!(ThreadId(3).to_string(), "T3");
+    }
+
+    #[test]
+    fn event_mask_membership() {
+        let m = EventMask::of(&[EventKind::Sync, EventKind::Output]);
+        assert!(m.contains(EventKind::Sync));
+        assert!(m.contains(EventKind::Output));
+        assert!(!m.contains(EventKind::Input));
+        assert!(EventMask::ALL.contains(EventKind::Exited));
+        assert!(!EventMask::NONE.contains(EventKind::Exited));
+        let u = m.union(EventMask::of(&[EventKind::Input]));
+        assert!(u.contains(EventKind::Input) && u.contains(EventKind::Sync));
+    }
+
+    #[test]
+    fn event_kind_round_trip() {
+        let ev = Event::Exited {
+            thread: ThreadId(0),
+            time: 1,
+        };
+        assert_eq!(ev.kind(), EventKind::Exited);
+        let ev = Event::Output {
+            thread: ThreadId(1),
+            data: vec![3],
+        };
+        assert_eq!(ev.kind(), EventKind::Output);
+    }
+
+    #[test]
+    fn null_supervisor_masks_everything_out() {
+        let s = NullSupervisor;
+        assert_eq!(s.event_mask(), EventMask::NONE);
+        assert!(!s.injects_forced_releases());
     }
 }

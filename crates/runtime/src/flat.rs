@@ -1,0 +1,619 @@
+//! Pre-decoded execution representation: the flattened form of a
+//! [`Program`] the interpreter's hot loop runs on.
+//!
+//! Decoding happens once per `Machine` (per run), not once per executed
+//! instruction: every basic block's instructions and its terminator are
+//! flattened into one contiguous per-function code array of [`FlatOp`]s, so
+//! a frame position is a dense `(func, pc)` pair, stepping is a single
+//! indexed copy of a `Copy` op (no `Instr`/`Terminator` clones, no
+//! per-step block lookups), and `advance` is `pc += 1` — falling off a
+//! block's last instruction lands exactly on its flattened terminator.
+//!
+//! Static operands are pre-resolved at decode time:
+//! - jump/branch targets become program counters (block ids are kept
+//!   alongside for basic-block execution counting),
+//! - `AddrOfLocal` becomes a frame-slot *offset* (taking the address of a
+//!   register local is detected at decode time and becomes a trapping op
+//!   that reproduces the interpreter's original diagnostic),
+//! - call/spawn argument lists are interned into one shared operand pool
+//!   ([`ArgRange`]), which is what keeps `FlatOp` itself `Copy`,
+//! - each op's cost-model class is resolvable to a static commit cost
+//!   ([`static_costs`]) wherever it does not depend on runtime values.
+//!
+//! The machine keeps the original block-structured stepping path alive as a
+//! reference mode; [`FlatFunc::locate`] maps a flat `pc` back to the
+//! `(block, ip)` the reference path executes, so both paths share one frame
+//! representation and stay byte-for-byte comparable.
+
+use crate::cost::CostModel;
+use chimera_minic::ast::{BinOp, UnOp};
+use chimera_minic::ir::{
+    AllocSiteId, BlockId, Callee, FuncId, GlobalId, Instr, LocalId, LockGranularity, Operand,
+    Program, Storage, Terminator, WeakLockId,
+};
+
+/// A range into [`FlatProgram::args`]: the interned argument operands of
+/// one call or spawn site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgRange {
+    /// First operand index in the pool.
+    pub start: u32,
+    /// Number of operands.
+    pub len: u32,
+}
+
+impl ArgRange {
+    /// The pool slice range.
+    #[inline]
+    pub fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// One pre-decoded instruction. Unlike [`Instr`], every variant is `Copy`:
+/// the hot loop copies the op out of the code array and never clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // fields mirror `Instr`/`Terminator`
+pub enum FlatOp {
+    Copy { dst: LocalId, src: Operand },
+    UnOp { dst: LocalId, op: UnOp, src: Operand },
+    BinOp { dst: LocalId, op: BinOp, a: Operand, b: Operand },
+    AddrOfGlobal { dst: LocalId, global: GlobalId, offset: Operand },
+    /// `AddrOfLocal` with the frame-slot offset pre-resolved.
+    AddrOfSlot { dst: LocalId, slot_off: i64, offset: Operand },
+    /// `AddrOfLocal` of a register local — a lowering bug, detected at
+    /// decode time; executing it traps with the original diagnostic.
+    AddrOfRegister { local: LocalId },
+    AddrOfFunc { dst: LocalId, func: FuncId },
+    PtrAdd { dst: LocalId, base: Operand, offset: Operand },
+    Load { dst: LocalId, addr: Operand },
+    Store { addr: Operand, val: Operand },
+    CallDirect { dst: Option<LocalId>, func: FuncId, args: ArgRange },
+    CallIndirect { dst: Option<LocalId>, target: Operand, args: ArgRange },
+    Lock { addr: Operand },
+    Unlock { addr: Operand },
+    BarrierInit { addr: Operand, count: Operand },
+    BarrierWait { addr: Operand },
+    CondWait { cond: Operand, lock: Operand },
+    CondSignal { cond: Operand },
+    CondBroadcast { cond: Operand },
+    SpawnDirect { dst: Option<LocalId>, func: FuncId, args: ArgRange },
+    SpawnIndirect { dst: Option<LocalId>, target: Operand, args: ArgRange },
+    Join { tid: Operand },
+    Malloc { dst: LocalId, size: Operand, site: AllocSiteId },
+    Free { addr: Operand },
+    SysRead { dst: Option<LocalId>, chan: Operand, buf: Operand, len: Operand },
+    SysWrite { chan: Operand, buf: Operand, len: Operand },
+    SysInput { dst: LocalId, chan: Operand },
+    Print { val: Operand },
+    WeakAcquire {
+        lock: WeakLockId,
+        granularity: LockGranularity,
+        range: Option<(Operand, Operand)>,
+    },
+    WeakRelease { lock: WeakLockId },
+    /// Flattened `Terminator::Jump` with the target pre-resolved to a pc.
+    Jump { target_pc: u32, target_block: BlockId },
+    /// Flattened `Terminator::Branch` with both targets pre-resolved.
+    Branch {
+        cond: Operand,
+        then_pc: u32,
+        then_block: BlockId,
+        else_pc: u32,
+        else_block: BlockId,
+    },
+    /// Flattened `Terminator::Return`.
+    Return { val: Option<Operand> },
+}
+
+/// Frame-slot layout of one function: where each `Storage::Slot` local
+/// lives relative to the frame base, and the total slot area size.
+#[derive(Debug, Clone)]
+pub struct FuncLayout {
+    /// Offset of each local's slot from the frame base (`None` for
+    /// register locals).
+    pub slot_offset: Vec<Option<i64>>,
+    /// Total slot-area size in cells.
+    pub frame_size: i64,
+}
+
+/// One function's flattened code.
+#[derive(Debug, Clone)]
+pub struct FlatFunc {
+    /// All blocks' instructions and terminators, concatenated in block
+    /// order: block `b` occupies `block_entry[b] ..` with its terminator
+    /// as the last op.
+    pub code: Vec<FlatOp>,
+    /// First pc of each block.
+    pub block_entry: Vec<u32>,
+    /// Owning block of each pc (the inverse of `block_entry`).
+    pub pc_block: Vec<u32>,
+    /// pc of the function's entry block.
+    pub entry_pc: u32,
+}
+
+impl FlatFunc {
+    /// Map a flat pc back to the block-structured position the reference
+    /// interpreter path executes: `(block, instruction index)`. An `ip`
+    /// equal to the block's instruction count designates the terminator.
+    #[inline]
+    pub fn locate(&self, pc: u32) -> (BlockId, usize) {
+        let b = self.pc_block[pc as usize];
+        (BlockId(b), (pc - self.block_entry[b as usize]) as usize)
+    }
+}
+
+/// The pre-decoded program: one [`FlatFunc`] per function plus the shared
+/// argument pool and frame layouts. Built once per run by [`flatten`].
+#[derive(Debug, Clone)]
+pub struct FlatProgram {
+    /// Flattened functions, indexed by [`FuncId`].
+    pub funcs: Vec<FlatFunc>,
+    /// Interned call/spawn argument operands ([`ArgRange`] indexes this).
+    pub args: Vec<Operand>,
+    /// Frame layouts, indexed by [`FuncId`].
+    pub layouts: Vec<FuncLayout>,
+    /// Whether any weak-lock op (`WeakAcquire`/`WeakRelease`) exists in the
+    /// program. An uninstrumented program can never weak-block, so the flat
+    /// scheduler skips the per-step timeout machinery entirely even when
+    /// `timeout_enabled` is set.
+    pub has_weak_ops: bool,
+}
+
+/// Compute every function's frame-slot layout.
+pub fn layout_of(program: &Program) -> Vec<FuncLayout> {
+    program
+        .funcs
+        .iter()
+        .map(|f| {
+            let mut off = 0i64;
+            let mut slot_offset = vec![None; f.locals.len()];
+            for (i, l) in f.locals.iter().enumerate() {
+                if let Storage::Slot { size } = l.storage {
+                    slot_offset[i] = Some(off);
+                    off += size as i64;
+                }
+            }
+            FuncLayout {
+                slot_offset,
+                frame_size: off,
+            }
+        })
+        .collect()
+}
+
+/// Pre-decode `program` into its flat execution form.
+pub fn flatten(program: &Program) -> FlatProgram {
+    let layouts = layout_of(program);
+    let mut args: Vec<Operand> = Vec::new();
+    let mut intern = |ops: &[Operand], args: &mut Vec<Operand>| -> ArgRange {
+        let start = args.len() as u32;
+        args.extend_from_slice(ops);
+        ArgRange {
+            start,
+            len: ops.len() as u32,
+        }
+    };
+    let funcs = program
+        .funcs
+        .iter()
+        .map(|f| {
+            // Pass 1: block entry pcs (each block contributes its
+            // instructions plus one terminator op).
+            let mut block_entry = Vec::with_capacity(f.blocks.len());
+            let mut pc = 0u32;
+            for b in &f.blocks {
+                block_entry.push(pc);
+                pc += b.instrs.len() as u32 + 1;
+            }
+            // Pass 2: decode.
+            let mut code = Vec::with_capacity(pc as usize);
+            let mut pc_block = Vec::with_capacity(pc as usize);
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for instr in &b.instrs {
+                    code.push(decode_instr(
+                        instr,
+                        &layouts[f.id.index()],
+                        &mut args,
+                        &mut intern,
+                    ));
+                    pc_block.push(bi as u32);
+                }
+                code.push(decode_term(&b.term, &block_entry));
+                pc_block.push(bi as u32);
+            }
+            FlatFunc {
+                code,
+                block_entry: block_entry.clone(),
+                pc_block,
+                entry_pc: block_entry[f.entry.index()],
+            }
+        })
+        .collect::<Vec<FlatFunc>>();
+    let has_weak_ops = funcs.iter().any(|f: &FlatFunc| {
+        f.code.iter().any(|op| {
+            matches!(
+                op,
+                FlatOp::WeakAcquire { .. } | FlatOp::WeakRelease { .. }
+            )
+        })
+    });
+    FlatProgram {
+        funcs,
+        args,
+        layouts,
+        has_weak_ops,
+    }
+}
+
+fn decode_instr(
+    instr: &Instr,
+    layout: &FuncLayout,
+    args: &mut Vec<Operand>,
+    intern: &mut impl FnMut(&[Operand], &mut Vec<Operand>) -> ArgRange,
+) -> FlatOp {
+    match instr {
+        Instr::Copy { dst, src } => FlatOp::Copy {
+            dst: *dst,
+            src: *src,
+        },
+        Instr::UnOp { dst, op, src } => FlatOp::UnOp {
+            dst: *dst,
+            op: *op,
+            src: *src,
+        },
+        Instr::BinOp { dst, op, a, b } => FlatOp::BinOp {
+            dst: *dst,
+            op: *op,
+            a: *a,
+            b: *b,
+        },
+        Instr::AddrOfGlobal {
+            dst,
+            global,
+            offset,
+        } => FlatOp::AddrOfGlobal {
+            dst: *dst,
+            global: *global,
+            offset: *offset,
+        },
+        Instr::AddrOfLocal { dst, local, offset } => {
+            match layout.slot_offset[local.index()] {
+                Some(slot_off) => FlatOp::AddrOfSlot {
+                    dst: *dst,
+                    slot_off,
+                    offset: *offset,
+                },
+                None => FlatOp::AddrOfRegister { local: *local },
+            }
+        }
+        Instr::AddrOfFunc { dst, func } => FlatOp::AddrOfFunc {
+            dst: *dst,
+            func: *func,
+        },
+        Instr::PtrAdd { dst, base, offset } => FlatOp::PtrAdd {
+            dst: *dst,
+            base: *base,
+            offset: *offset,
+        },
+        Instr::Load { dst, addr, .. } => FlatOp::Load {
+            dst: *dst,
+            addr: *addr,
+        },
+        Instr::Store { addr, val, .. } => FlatOp::Store {
+            addr: *addr,
+            val: *val,
+        },
+        Instr::Call {
+            dst,
+            callee,
+            args: a,
+        } => {
+            let range = intern(a, args);
+            match callee {
+                Callee::Direct(f) => FlatOp::CallDirect {
+                    dst: *dst,
+                    func: *f,
+                    args: range,
+                },
+                Callee::Indirect(op) => FlatOp::CallIndirect {
+                    dst: *dst,
+                    target: *op,
+                    args: range,
+                },
+            }
+        }
+        Instr::Lock { addr } => FlatOp::Lock { addr: *addr },
+        Instr::Unlock { addr } => FlatOp::Unlock { addr: *addr },
+        Instr::BarrierInit { addr, count } => FlatOp::BarrierInit {
+            addr: *addr,
+            count: *count,
+        },
+        Instr::BarrierWait { addr } => FlatOp::BarrierWait { addr: *addr },
+        Instr::CondWait { cond, lock } => FlatOp::CondWait {
+            cond: *cond,
+            lock: *lock,
+        },
+        Instr::CondSignal { cond } => FlatOp::CondSignal { cond: *cond },
+        Instr::CondBroadcast { cond } => FlatOp::CondBroadcast { cond: *cond },
+        Instr::Spawn {
+            dst,
+            callee,
+            args: a,
+        } => {
+            let range = intern(a, args);
+            match callee {
+                Callee::Direct(f) => FlatOp::SpawnDirect {
+                    dst: *dst,
+                    func: *f,
+                    args: range,
+                },
+                Callee::Indirect(op) => FlatOp::SpawnIndirect {
+                    dst: *dst,
+                    target: *op,
+                    args: range,
+                },
+            }
+        }
+        Instr::Join { tid } => FlatOp::Join { tid: *tid },
+        Instr::Malloc { dst, size, site } => FlatOp::Malloc {
+            dst: *dst,
+            size: *size,
+            site: *site,
+        },
+        Instr::Free { addr } => FlatOp::Free { addr: *addr },
+        Instr::SysRead {
+            dst,
+            chan,
+            buf,
+            len,
+        } => FlatOp::SysRead {
+            dst: *dst,
+            chan: *chan,
+            buf: *buf,
+            len: *len,
+        },
+        Instr::SysWrite { chan, buf, len } => FlatOp::SysWrite {
+            chan: *chan,
+            buf: *buf,
+            len: *len,
+        },
+        Instr::SysInput { dst, chan } => FlatOp::SysInput {
+            dst: *dst,
+            chan: *chan,
+        },
+        Instr::Print { val } => FlatOp::Print { val: *val },
+        Instr::WeakAcquire {
+            lock,
+            granularity,
+            range,
+        } => FlatOp::WeakAcquire {
+            lock: *lock,
+            granularity: *granularity,
+            range: *range,
+        },
+        Instr::WeakRelease { lock } => FlatOp::WeakRelease { lock: *lock },
+    }
+}
+
+fn decode_term(term: &Terminator, block_entry: &[u32]) -> FlatOp {
+    match term {
+        Terminator::Jump(b) => FlatOp::Jump {
+            target_pc: block_entry[b.index()],
+            target_block: *b,
+        },
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => FlatOp::Branch {
+            cond: *cond,
+            then_pc: block_entry[then_bb.index()],
+            then_block: *then_bb,
+            else_pc: block_entry[else_bb.index()],
+            else_block: *else_bb,
+        },
+        Terminator::Return(v) => FlatOp::Return { val: *v },
+    }
+}
+
+/// Resolve each op's cost-model class to a static commit cost, per pc.
+///
+/// The value is the virtual-cycle cost charged when the op commits on its
+/// ordinary success path, matching the reference interpreter's per-arm
+/// arithmetic (including the log-write surcharges recording adds to sync
+/// and weak-lock operations). Ops whose commit cost depends on runtime
+/// values — I/O latency and lengths, barrier phases, the dynamic weak-lock
+/// paths — store 0 here and are costed by their handlers instead.
+pub fn static_costs(
+    func: &FlatFunc,
+    cost: &CostModel,
+    log_sync: bool,
+    log_weak: bool,
+) -> Vec<u64> {
+    let log_s = if log_sync { cost.log_write } else { 0 };
+    let log_w = if log_weak { cost.log_write } else { 0 };
+    func.code
+        .iter()
+        .map(|op| match op {
+            FlatOp::Copy { .. }
+            | FlatOp::UnOp { .. }
+            | FlatOp::BinOp { .. }
+            | FlatOp::AddrOfGlobal { .. }
+            | FlatOp::AddrOfSlot { .. }
+            | FlatOp::AddrOfFunc { .. }
+            | FlatOp::PtrAdd { .. }
+            | FlatOp::Jump { .. }
+            | FlatOp::Branch { .. } => cost.instr,
+            FlatOp::AddrOfRegister { .. } => 0, // always traps
+            FlatOp::Load { .. } | FlatOp::Store { .. } => cost.instr + cost.mem,
+            FlatOp::CallDirect { .. }
+            | FlatOp::CallIndirect { .. }
+            | FlatOp::Return { .. }
+            | FlatOp::Malloc { .. }
+            | FlatOp::Free { .. } => cost.call,
+            FlatOp::Lock { .. } => cost.sync_op + log_s,
+            FlatOp::Unlock { .. } => cost.sync_op,
+            FlatOp::BarrierInit { .. } => cost.sync_op,
+            FlatOp::CondSignal { .. } | FlatOp::CondBroadcast { .. } => cost.sync_op + log_s,
+            FlatOp::Join { .. } => cost.sync_op + log_s,
+            FlatOp::SpawnDirect { .. } | FlatOp::SpawnIndirect { .. } => cost.spawn + log_s,
+            FlatOp::Print { .. } => cost.syscall,
+            FlatOp::WeakAcquire { range, .. } => {
+                let rc = if range.is_some() { cost.range_check } else { 0 };
+                cost.weak_op + rc + log_w
+            }
+            FlatOp::WeakRelease { .. } => cost.weak_op,
+            // Dynamic: latency/length-dependent or multi-phase.
+            FlatOp::BarrierWait { .. }
+            | FlatOp::CondWait { .. }
+            | FlatOp::SysRead { .. }
+            | FlatOp::SysWrite { .. }
+            | FlatOp::SysInput { .. } => 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    fn flat_of(src: &str) -> (Program, FlatProgram) {
+        let p = compile(src).unwrap();
+        let f = flatten(&p);
+        (p, f)
+    }
+
+    #[test]
+    fn layout_and_code_cover_every_block() {
+        let (p, flat) = flat_of(
+            "int g;
+             int add(int a, int b) { return a + b; }
+             int main() { int i; int s;
+                for (i = 0; i < 4; i = i + 1) { s = add(s, i); }
+                g = s; print(s); return 0; }",
+        );
+        assert_eq!(flat.funcs.len(), p.funcs.len());
+        for (f, ff) in p.funcs.iter().zip(&flat.funcs) {
+            let expected: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
+            assert_eq!(ff.code.len(), expected);
+            assert_eq!(ff.pc_block.len(), expected);
+            assert_eq!(ff.block_entry.len(), f.blocks.len());
+            assert_eq!(ff.entry_pc, ff.block_entry[f.entry.index()]);
+            // Every pc maps back to a (block, ip) consistent with the
+            // block-structured program; block-final pcs are terminators.
+            for pc in 0..ff.code.len() as u32 {
+                let (b, ip) = ff.locate(pc);
+                let block = f.block(b);
+                assert!(ip <= block.instrs.len(), "pc {pc} past terminator");
+                if ip == block.instrs.len() {
+                    assert!(matches!(
+                        ff.code[pc as usize],
+                        FlatOp::Jump { .. } | FlatOp::Branch { .. } | FlatOp::Return { .. }
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_targets_resolve_to_block_entries() {
+        let (p, flat) = flat_of(
+            "int main() { int i; i = 0;
+                while (i < 3) { i = i + 1; }
+                return i; }",
+        );
+        let main = &flat.funcs[p.main().index()];
+        for op in &main.code {
+            match *op {
+                FlatOp::Jump {
+                    target_pc,
+                    target_block,
+                } => {
+                    assert_eq!(target_pc, main.block_entry[target_block.index()]);
+                }
+                FlatOp::Branch {
+                    then_pc,
+                    then_block,
+                    else_pc,
+                    else_block,
+                    ..
+                } => {
+                    assert_eq!(then_pc, main.block_entry[then_block.index()]);
+                    assert_eq!(else_pc, main.block_entry[else_block.index()]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn call_args_interned_into_pool() {
+        let (p, flat) = flat_of(
+            "int add3(int a, int b, int c) { return a + b + c; }
+             int main() { return add3(1, 2, 3); }",
+        );
+        let main = &flat.funcs[p.main().index()];
+        let call = main
+            .code
+            .iter()
+            .find_map(|op| match op {
+                FlatOp::CallDirect { args, .. } => Some(*args),
+                _ => None,
+            })
+            .expect("main calls add3");
+        assert_eq!(call.len, 3);
+        let pool = &flat.args[call.as_range()];
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn addr_of_local_resolves_slot_offsets() {
+        let (p, flat) = flat_of(
+            "int main() { int a[4]; int b[2]; a[0] = 1; b[1] = 2; return a[0] + b[1]; }",
+        );
+        let main_id = p.main().index();
+        let layout = &flat.layouts[main_id];
+        assert_eq!(layout.frame_size, 6);
+        let offsets: Vec<i64> = flat.funcs[main_id]
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                FlatOp::AddrOfSlot { slot_off, .. } => Some(*slot_off),
+                _ => None,
+            })
+            .collect();
+        assert!(!offsets.is_empty());
+        assert!(offsets.iter().all(|o| *o == 0 || *o == 4), "{offsets:?}");
+    }
+
+    #[test]
+    fn static_costs_match_cost_model() {
+        let (p, flat) = flat_of(
+            "int g; lock_t m;
+             int main() { lock(&m); g = g + 1; unlock(&m); print(g); return 0; }",
+        );
+        let cost = CostModel::default();
+        let main = &flat.funcs[p.main().index()];
+        let plain = static_costs(main, &cost, false, false);
+        let logged = static_costs(main, &cost, true, true);
+        for (pc, op) in main.code.iter().enumerate() {
+            match op {
+                FlatOp::Load { .. } | FlatOp::Store { .. } => {
+                    assert_eq!(plain[pc], cost.instr + cost.mem);
+                }
+                FlatOp::Lock { .. } => {
+                    assert_eq!(plain[pc], cost.sync_op);
+                    assert_eq!(logged[pc], cost.sync_op + cost.log_write);
+                }
+                FlatOp::Unlock { .. } => {
+                    assert_eq!(plain[pc], cost.sync_op);
+                    assert_eq!(logged[pc], cost.sync_op, "unlock is never logged");
+                }
+                FlatOp::Print { .. } => assert_eq!(plain[pc], cost.syscall),
+                _ => {}
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod cost;
 pub mod event;
+mod flat;
 pub mod machine;
 pub mod memory;
 pub mod parallel;
@@ -40,8 +41,13 @@ pub mod world;
 
 pub use cost::{CostModel, Jitter};
 pub use parallel::{par_map, serial_requested};
-pub use event::{Event, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId};
-pub use machine::{execute, execute_supervised, ExecConfig, ExecResult, Outcome};
+pub use event::{
+    Event, EventKind, EventMask, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId,
+};
+pub use machine::{
+    execute, execute_mode, execute_supervised, execute_supervised_mode, ExecConfig, ExecResult,
+    InterpMode, Outcome,
+};
 pub use memory::{Memory, RegionKind};
 pub use stats::ExecStats;
 pub use world::{IoModel, World};

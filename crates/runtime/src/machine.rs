@@ -27,23 +27,30 @@
 //! program.
 
 use crate::cost::{CostModel, Jitter};
-use crate::event::{Event, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId};
+use crate::event::{
+    Event, EventKind, EventMask, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId,
+};
+use crate::flat::{flatten, static_costs, ArgRange, FlatOp, FlatProgram};
 use crate::memory::{Memory, RegionKind};
 use crate::stats::ExecStats;
 use crate::sync::{BlockReason, SyncTables, WeakHolder};
 use crate::world::{IoModel, World};
 use chimera_minic::ast::{BinOp, UnOp};
 use chimera_minic::ir::{
-    BlockId, Callee, FuncId, Instr, LocalId, LockGranularity, Operand, Program, Storage,
-    Terminator, WeakLockId,
+    BlockId, Callee, FuncId, Instr, LocalId, LockGranularity, Operand, Program, Terminator,
+    WeakLockId,
 };
 use chimera_testkit::rng::Rng;
+use std::sync::OnceLock;
 
 /// Function-pointer values are encoded as `FUNC_PTR_BASE + FuncId`.
 pub const FUNC_PTR_BASE: i64 = 1 << 40;
 
 /// Everything configurable about one execution.
-#[derive(Debug, Clone)]
+///
+/// All-scalar and `Copy`: executions borrow the config they are given and
+/// parallel trials share one instance instead of deep-cloning per run.
+#[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
     /// Seed for jitter and simulated input.
     pub seed: u64,
@@ -155,6 +162,35 @@ impl ExecResult {
     }
 }
 
+/// Which stepping implementation the machine runs.
+///
+/// Both modes produce byte-identical [`ExecResult`]s and traces (pinned by
+/// the `vm_differential` suite); they differ only in speed. `Flat` is the
+/// production path; `Reference` keeps the original block-structured,
+/// clone-per-step loop alive as the guard-rail baseline and as the slow
+/// side of the `interp_scaling` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// Pre-decoded hot loop: `(func, pc)` frames over flattened per-function
+    /// code arrays, dense sync tables, scratch-buffer reuse, and burst
+    /// scheduling of the running thread (see DESIGN.md "VM internals").
+    #[default]
+    Flat,
+    /// The original interpreter: per-step `Instr`/`Terminator` clones,
+    /// spill-only (`BTreeMap`) sync tables, a full scheduler scan per step.
+    Reference,
+}
+
+/// The process-wide default mode: `Flat`, unless `CHIMERA_VM_REFERENCE` is
+/// set to a non-empty value other than `0` (read once, then cached).
+fn default_mode() -> InterpMode {
+    static MODE: OnceLock<InterpMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("CHIMERA_VM_REFERENCE") {
+        Ok(v) if !v.is_empty() && v != "0" => InterpMode::Reference,
+        _ => InterpMode::Flat,
+    })
+}
+
 /// Run `program` under the null supervisor (plain execution).
 pub fn execute(program: &Program, config: &ExecConfig) -> ExecResult {
     execute_supervised(program, config, &mut NullSupervisor)
@@ -162,13 +198,29 @@ pub fn execute(program: &Program, config: &ExecConfig) -> ExecResult {
 
 /// Run `program` with a supervisor observing events and gating order
 /// points — the entry point used by the recorder, the replayer, and the
-/// profiler.
+/// profiler. Uses the flat interpreter unless overridden via the
+/// `CHIMERA_VM_REFERENCE` environment variable.
 pub fn execute_supervised(
     program: &Program,
     config: &ExecConfig,
     sup: &mut dyn Supervisor,
 ) -> ExecResult {
-    Machine::new(program, config.clone()).run(sup)
+    execute_supervised_mode(program, config, sup, default_mode())
+}
+
+/// [`execute`] with an explicit interpreter mode.
+pub fn execute_mode(program: &Program, config: &ExecConfig, mode: InterpMode) -> ExecResult {
+    execute_supervised_mode(program, config, &mut NullSupervisor, mode)
+}
+
+/// [`execute_supervised`] with an explicit interpreter mode.
+pub fn execute_supervised_mode(
+    program: &Program,
+    config: &ExecConfig,
+    sup: &mut dyn Supervisor,
+    mode: InterpMode,
+) -> ExecResult {
+    Machine::new(program, config, mode).run(sup)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,15 +230,32 @@ struct HeldWeak {
     gran: LockGranularity,
 }
 
+/// One activation. The position is a dense `(func, pc)` pair into the
+/// flattened code (both interpreter modes share this representation; the
+/// reference path maps `pc` back to `(block, ip)` via
+/// [`crate::flat::FlatFunc::locate`]).
 #[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
-    block: BlockId,
-    ip: usize,
+    pc: u32,
     regs: Vec<i64>,
     frame_base: Option<i64>,
     ret_dst: Option<LocalId>,
     held_weak: Vec<HeldWeak>,
+}
+
+impl Frame {
+    /// Operand read against this frame's registers. The flat hot loop
+    /// resolves all of an op's operands through one borrow of the current
+    /// frame rather than re-walking `threads[tid].frames.last()` per
+    /// operand (see `Machine::val` for the per-call equivalent).
+    #[inline]
+    fn get(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Const(c) => c,
+            Operand::Local(l) => self.regs[l.index()],
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,37 +284,16 @@ struct Thr {
     input_seq: u64,
 }
 
-#[derive(Debug, Clone)]
-struct FuncLayout {
-    slot_offset: Vec<Option<i64>>,
-    frame_size: i64,
-}
-
-fn layout_of(program: &Program) -> Vec<FuncLayout> {
-    program
-        .funcs
-        .iter()
-        .map(|f| {
-            let mut off = 0i64;
-            let mut slot_offset = vec![None; f.locals.len()];
-            for (i, l) in f.locals.iter().enumerate() {
-                if let Storage::Slot { size } = l.storage {
-                    slot_offset[i] = Some(off);
-                    off += size as i64;
-                }
-            }
-            FuncLayout {
-                slot_offset,
-                frame_size: off,
-            }
-        })
-        .collect()
-}
-
 struct Machine<'p> {
     program: &'p Program,
-    config: ExecConfig,
-    layouts: Vec<FuncLayout>,
+    config: &'p ExecConfig,
+    /// Hoisted copy of `config.cost` (it is `Copy` and read on every step).
+    cost: CostModel,
+    mode: InterpMode,
+    /// The pre-decoded program (both modes position frames by flat pc).
+    flat: FlatProgram,
+    /// Per-function, per-pc static commit costs (flat mode only).
+    costs: Vec<Vec<u64>>,
     mem: Memory,
     sync: SyncTables,
     threads: Vec<Thr>,
@@ -258,6 +306,15 @@ struct Machine<'p> {
     finished: Option<Outcome>,
     main_ret: i64,
     block_counts: Vec<Vec<u64>>,
+    /// Event kinds the supervisor consumes (set once per run).
+    mask: EventMask,
+    /// Set whenever a wakeup/spawn may have changed which thread the
+    /// scheduler would pick; ends the flat mode's current burst.
+    sched_dirty: bool,
+    /// Scratch for call/spawn argument marshalling (reused across calls).
+    argv: Vec<i64>,
+    /// Scratch for `sys_write` payload staging (reused across syscalls).
+    io_buf: Vec<i64>,
 }
 
 enum StepEnd {
@@ -270,17 +327,36 @@ enum StepEnd {
 }
 
 impl<'p> Machine<'p> {
-    fn new(program: &'p Program, config: ExecConfig) -> Machine<'p> {
-        let layouts = layout_of(program);
+    fn new(program: &'p Program, config: &'p ExecConfig, mode: InterpMode) -> Machine<'p> {
+        let flat = flatten(program);
+        let costs = match mode {
+            InterpMode::Flat => flat
+                .funcs
+                .iter()
+                .map(|f| static_costs(f, &config.cost, config.log_sync, config.log_weak))
+                .collect(),
+            InterpMode::Reference => Vec::new(),
+        };
         let mem = Memory::new(program);
-        let world = World::new(config.seed, config.io.clone());
+        // Dense sync tables: globals (where sync objects live) occupy the
+        // bottom of the address space, so the frontier right after layout
+        // bounds the dense region. The reference mode keeps the original
+        // spill-only (`BTreeMap`) tables.
+        let sync = match mode {
+            InterpMode::Flat => SyncTables::with_dense_limits(mem.frontier(), program.weak_locks),
+            InterpMode::Reference => SyncTables::default(),
+        };
+        let world = World::new(config.seed, config.io);
         let rng = Rng::seed_from_u64(config.seed);
         let mut m = Machine {
             program,
             config,
-            layouts,
+            cost: config.cost,
+            mode,
+            flat,
+            costs,
             mem,
-            sync: SyncTables::default(),
+            sync,
             threads: Vec::new(),
             world,
             rng,
@@ -295,6 +371,10 @@ impl<'p> Machine<'p> {
                 .iter()
                 .map(|f| vec![0u64; f.blocks.len()])
                 .collect(),
+            mask: EventMask::ALL,
+            sched_dirty: false,
+            argv: Vec::new(),
+            io_buf: Vec::new(),
         };
         let main = program.main();
         m.spawn_thread(main, &[], 0);
@@ -318,12 +398,13 @@ impl<'p> Machine<'p> {
             input_seq: 0,
         });
         self.stats.threads += 1;
+        self.sched_dirty = true;
         id
     }
 
     fn make_frame(&mut self, func: FuncId, args: &[i64], ret_dst: Option<LocalId>) -> Frame {
         let f = &self.program.funcs[func.index()];
-        let layout = &self.layouts[func.index()];
+        let layout = &self.flat.layouts[func.index()];
         let mut regs = vec![0i64; f.locals.len()];
         for (i, &p) in f.params.iter().enumerate() {
             regs[p.index()] = args.get(i).copied().unwrap_or(0);
@@ -336,8 +417,7 @@ impl<'p> Machine<'p> {
         self.count_block(func, f.entry);
         Frame {
             func,
-            block: f.entry,
-            ip: 0,
+            pc: self.flat.funcs[func.index()].entry_pc,
             regs,
             frame_base,
             ret_dst,
@@ -345,14 +425,40 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Deliver `ev` to the supervisor (if it is in the mask) and to the
+    /// trace (if one is being collected). Construction of allocating
+    /// events is additionally gated by [`Machine::wants`] on the flat path.
     fn emit(&mut self, sup: &mut dyn Supervisor, ev: Event) {
-        sup.on_event(&ev);
+        if self.mask.contains(ev.kind()) {
+            sup.on_event(&ev);
+        }
         if self.config.collect_trace {
             self.trace.push(ev);
         }
     }
 
+    /// Would an event of kind `k` be observed by anyone? When false, the
+    /// flat path skips building the event (and any payload clone) entirely.
+    #[inline]
+    fn wants(&self, k: EventKind) -> bool {
+        self.config.collect_trace || self.mask.contains(k)
+    }
+
     fn run(mut self, sup: &mut dyn Supervisor) -> ExecResult {
+        self.mask = sup.event_mask();
+        if self.config.collect_trace {
+            self.trace.reserve(1024);
+        }
+        match self.mode {
+            InterpMode::Reference => self.run_reference(sup),
+            InterpMode::Flat => self.run_flat(sup),
+        }
+    }
+
+    /// The original scheduling loop: per step, poll every thread for
+    /// injected releases, scan all threads for the minimum clock, scan for
+    /// timed-out weak waiters, then execute one cloned instruction.
+    fn run_reference(mut self, sup: &mut dyn Supervisor) -> ExecResult {
         loop {
             if let Some(outcome) = self.finished.take() {
                 return self.finish(outcome);
@@ -379,19 +485,7 @@ impl<'p> Machine<'p> {
                 if self.config.timeout_enabled && self.try_force_any(sup) {
                     continue;
                 }
-                let blocked = self
-                    .threads
-                    .iter()
-                    .filter(|t| t.state != TState::Done)
-                    .map(|t| {
-                        let why = match &t.state {
-                            TState::Blocked(r) => format!("{r} (icount {})", t.icount),
-                            _ => "unknown".to_string(),
-                        };
-                        (t.id, why)
-                    })
-                    .collect();
-                return self.finish(Outcome::Deadlock { blocked });
+                return self.finish_deadlock();
             };
 
             // Starvation check against the global "now".
@@ -402,12 +496,173 @@ impl<'p> Machine<'p> {
                 }
             }
 
-            self.step_thread(sup, tid);
+            self.step_reference(sup, tid);
             self.steps += 1;
             if self.steps > self.config.max_steps {
                 return self.finish(Outcome::StepLimit);
             }
         }
+    }
+
+    /// The flat scheduling loop. One scan finds both the minimum-clock
+    /// ready thread and the runner-up key, then the chosen thread runs a
+    /// *burst*: it keeps stepping with no rescan for as long as the
+    /// scheduling decision provably cannot change — it stays ready, its
+    /// key stays below the runner-up's, no wakeup/spawn touched another
+    /// thread (`sched_dirty`), no weak-lock waiter could time out, and the
+    /// supervisor never injects forced releases. Each of those conditions
+    /// is exactly what the per-step rescan of the reference loop exists to
+    /// notice, so bursts are semantics-preserving by construction.
+    fn run_flat(mut self, sup: &mut dyn Supervisor) -> ExecResult {
+        let injects = sup.injects_forced_releases();
+        // With no supervisor injection and no weak-lock timeouts, scheduling
+        // only changes at blocks/wakes/spawns — all of which set
+        // `sched_dirty`. That lets the hot path run off a small sorted
+        // ready-queue of (clock, id) keys instead of rescanning every `Thr`
+        // per step: rebuild on dirty, reposition just the stepped thread's
+        // key otherwise. The front of the queue is always the scan's
+        // minimum, so the schedule is bit-identical to the reference scan.
+        let queue_mode =
+            !(injects || (self.config.timeout_enabled && self.flat.has_weak_ops));
+        let mut queue: Vec<(u64, u32)> = Vec::new();
+        loop {
+            if let Some(outcome) = self.finished.take() {
+                return self.finish(outcome);
+            }
+            if injects {
+                self.apply_injected_releases(sup);
+            }
+
+            // One scan: best ready key, runner-up ready key, weak-blocked
+            // presence, all-done.
+            let mut best: Option<(u64, u32)> = None;
+            let mut second: Option<(u64, u32)> = None;
+            let mut any_weak_blocked = false;
+            let mut all_done = true;
+            for t in &self.threads {
+                match &t.state {
+                    TState::Ready => {
+                        all_done = false;
+                        let k = (t.clock, t.id.0);
+                        match best {
+                            Some(b) if k >= b => {
+                                if second.is_none_or(|s| k < s) {
+                                    second = Some(k);
+                                }
+                            }
+                            _ => {
+                                second = best;
+                                best = Some(k);
+                            }
+                        }
+                    }
+                    TState::Done => {}
+                    TState::Blocked(r) => {
+                        all_done = false;
+                        if matches!(r, BlockReason::Weak(..)) {
+                            any_weak_blocked = true;
+                        }
+                    }
+                }
+            }
+
+            let Some((_, tid0)) = best else {
+                if all_done {
+                    let ret = self.main_ret;
+                    return self.finish(Outcome::Exited(ret));
+                }
+                if self.config.timeout_enabled && self.try_force_any(sup) {
+                    continue;
+                }
+                return self.finish_deadlock();
+            };
+            let tid = ThreadId(tid0);
+
+            if self.config.timeout_enabled {
+                let now = self.threads[tid.index()].clock;
+                if self.try_force_timed_out(sup, now) {
+                    continue;
+                }
+            }
+
+            if queue_mode {
+                queue.clear();
+                for t in &self.threads {
+                    if t.state == TState::Ready {
+                        queue.push((t.clock, t.id.0));
+                    }
+                }
+                queue.sort_unstable();
+                self.sched_dirty = false;
+                while let Some(&(_, id)) = queue.first() {
+                    let next = self.step_flat(sup, ThreadId(id));
+                    self.steps += 1;
+                    if self.steps > self.config.max_steps {
+                        return self.finish(Outcome::StepLimit);
+                    }
+                    if self.finished.is_some() || self.sched_dirty {
+                        break;
+                    }
+                    let Some(clock) = next else {
+                        // Blocked (a `Done` transition marks the scheduler
+                        // dirty and breaks above): drop it from the queue.
+                        queue.remove(0);
+                        continue;
+                    };
+                    // Only the stepped thread's clock moved: shift its key
+                    // right to its new sorted position (the queue is tiny —
+                    // one entry per ready thread).
+                    let k = (clock, id);
+                    let mut i = 0;
+                    while i + 1 < queue.len() && queue[i + 1] < k {
+                        queue[i] = queue[i + 1];
+                        i += 1;
+                    }
+                    queue[i] = k;
+                }
+                continue;
+            }
+
+            // With a weak-lock waiter present and timeouts armed, the
+            // chosen thread's advancing clock can expire the waiter at any
+            // step, so the timeout scan must run per step: no burst.
+            let can_burst = !(injects || (self.config.timeout_enabled && any_weak_blocked));
+            self.sched_dirty = false;
+            loop {
+                let next = self.step_flat(sup, tid);
+                self.steps += 1;
+                if self.steps > self.config.max_steps {
+                    return self.finish(Outcome::StepLimit);
+                }
+                if !can_burst || self.finished.is_some() || self.sched_dirty {
+                    break;
+                }
+                let Some(clock) = next else {
+                    break;
+                };
+                if let Some(s) = second {
+                    if (clock, tid.0) >= s {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_deadlock(self) -> ExecResult {
+        let blocked = self
+            .threads
+            .iter()
+            .filter(|t| t.state != TState::Done)
+            .map(|t| {
+                let why = match &t.state {
+                    TState::Blocked(r) => format!("{r} (icount {})", t.icount),
+                    _ => "unknown".to_string(),
+                };
+                (t.id, why)
+            })
+            .collect();
+        self.finish(Outcome::Deadlock { blocked })
     }
 
     fn finish(mut self, outcome: Outcome) -> ExecResult {
@@ -515,7 +770,7 @@ impl<'p> Machine<'p> {
             let conflict = self
                 .sync
                 .weak
-                .get(&lock)
+                .get(lock)
                 .and_then(|s| s.conflict_with(range))
                 .filter(|h| h.thread != waiter);
             match conflict {
@@ -528,7 +783,7 @@ impl<'p> Machine<'p> {
         // (resumes execution holding the lock). Grants that get forced
         // away before consumption cancel silently and never enter the
         // logs — only effective acquisitions order data.
-        let state = self.sync.weak.entry(lock).or_default();
+        let state = self.sync.weak.ensure(lock);
         if !self.config.weak_always_succeed {
             state.holders.push(WeakHolder {
                 thread: waiter,
@@ -570,7 +825,7 @@ impl<'p> Machine<'p> {
         let Some(entry) = removed else {
             return; // already released (benign race with normal release)
         };
-        if let Some(state) = self.sync.weak.get_mut(&lock) {
+        if let Some(state) = self.sync.weak.get_mut(lock) {
             state.release(holder);
         }
         let time = self.threads[hidx].clock;
@@ -616,114 +871,328 @@ impl<'p> Machine<'p> {
             WaitKind::Weak(g) => ExecStats::bump(&mut self.stats.weak_wait, g, waited),
         }
         t.state = TState::Ready;
+        self.sched_dirty = true;
     }
 
+    // The wake scans walk threads by index (thread ids are their indices)
+    // so no candidate `Vec` is ever collected; `wake_thread` only mutates
+    // the woken thread, so the scan order matches the old collect-then-wake
+    // behavior exactly.
+
     fn wake_mutex_waiters(&mut self, addr: i64, at: u64) {
-        let ids: Vec<ThreadId> = self
-            .threads
-            .iter()
-            .filter(|t| {
-                matches!(
-                    &t.state,
-                    TState::Blocked(BlockReason::Mutex(a) | BlockReason::CondReacquire(a)) if *a == addr
-                )
-            })
-            .map(|t| t.id)
-            .collect();
-        for id in ids {
-            self.wake_thread(id, at, WaitKind::Sync);
+        for i in 0..self.threads.len() {
+            if matches!(
+                &self.threads[i].state,
+                TState::Blocked(BlockReason::Mutex(a) | BlockReason::CondReacquire(a)) if *a == addr
+            ) {
+                self.wake_thread(ThreadId(i as u32), at, WaitKind::Sync);
+            }
         }
     }
 
     fn wake_weak_waiters(&mut self, lock: WeakLockId, at: u64) {
-        let ids: Vec<(ThreadId, LockGranularity)> = self
-            .threads
-            .iter()
-            .filter_map(|t| match &t.state {
-                TState::Blocked(BlockReason::Weak(l, _, g)) if *l == lock => Some((t.id, *g)),
-                _ => None,
-            })
-            .collect();
-        for (id, g) in ids {
-            self.wake_thread(id, at, WaitKind::Weak(g));
+        for i in 0..self.threads.len() {
+            let g = match &self.threads[i].state {
+                TState::Blocked(BlockReason::Weak(l, _, g)) if *l == lock => *g,
+                _ => continue,
+            };
+            self.wake_thread(ThreadId(i as u32), at, WaitKind::Weak(g));
         }
     }
 
     fn wake_order_stalled(&mut self) {
-        let ids: Vec<ThreadId> = self
-            .threads
-            .iter()
-            .filter(|t| matches!(t.state, TState::Blocked(BlockReason::OrderTurn)))
-            .map(|t| t.id)
-            .collect();
-        for id in ids {
-            let t = &mut self.threads[id.index()];
-            t.state = TState::Ready;
+        for t in self.threads.iter_mut() {
+            if matches!(t.state, TState::Blocked(BlockReason::OrderTurn)) {
+                t.state = TState::Ready;
+                self.sched_dirty = true;
+            }
         }
     }
 
     // ---- the interpreter ----
 
-    fn step_thread(&mut self, sup: &mut dyn Supervisor, tid: ThreadId) {
+    /// Pending reacquires after a forced release come first. Returns true
+    /// if this step was consumed by the reacquire protocol.
+    #[inline]
+    fn try_pending_reacquire(&mut self, sup: &mut dyn Supervisor, tid: ThreadId) -> bool {
         let tix = tid.index();
-
-        // Pending reacquires after a forced release come first.
-        if let Some(&entry) = self.threads[tix].pending_reacquire.last() {
-            if let Some(pos) = self.threads[tix]
-                .weak_granted
-                .iter()
-                .position(|l| *l == entry.lock)
-            {
-                // A forced handoff already made us the holder: consume the
-                // grant, which is the moment the acquisition becomes real.
-                self.threads[tix].weak_granted.remove(pos);
+        let Some(&entry) = self.threads[tix].pending_reacquire.last() else {
+            return false;
+        };
+        if let Some(pos) = self.threads[tix]
+            .weak_granted
+            .iter()
+            .position(|l| *l == entry.lock)
+        {
+            // A forced handoff already made us the holder: consume the
+            // grant, which is the moment the acquisition becomes real.
+            self.threads[tix].weak_granted.remove(pos);
+            self.threads[tix].pending_reacquire.pop();
+            self.commit_granted_acquire(sup, tid, entry.lock, entry.range, entry.gran);
+            return true;
+        }
+        match self.try_weak_acquire(sup, tid, entry.lock, entry.range, entry.gran, true) {
+            WeakTry::Acquired => {
                 self.threads[tix].pending_reacquire.pop();
-                self.commit_granted_acquire(sup, tid, entry.lock, entry.range, entry.gran);
-                return;
             }
-            match self.try_weak_acquire(sup, tid, entry.lock, entry.range, entry.gran, true) {
-                WeakTry::Acquired => {
-                    self.threads[tix].pending_reacquire.pop();
-                }
-                WeakTry::Blocked(reason) => self.block(tid, reason),
-                WeakTry::Stalled => self.block(tid, BlockReason::OrderTurn),
-            }
+            WeakTry::Blocked(reason) => self.block(tid, reason),
+            WeakTry::Stalled => self.block(tid, BlockReason::OrderTurn),
+        }
+        true
+    }
+
+    /// One reference-mode step: locate the frame's flat pc in the
+    /// block-structured program, clone the instruction or terminator (the
+    /// original per-step cost), and execute it.
+    fn step_reference(&mut self, sup: &mut dyn Supervisor, tid: ThreadId) {
+        if self.try_pending_reacquire(sup, tid) {
             return;
         }
+        let program = self.program;
+        let frame = self
+            .threads[tid.index()]
+            .frames
+            .last()
+            .expect("live thread has frames");
+        let (block_id, ip) = self.flat.funcs[frame.func.index()].locate(frame.pc);
+        let block = program.funcs[frame.func.index()].block(block_id);
 
-        let frame = self.threads[tix].frames.last().expect("live thread has frames");
-        let func = &self.program.funcs[frame.func.index()];
-        let block = func.block(frame.block);
-
-        let end = if frame.ip < block.instrs.len() {
-            let instr = block.instrs[frame.ip].clone();
+        let end = if ip < block.instrs.len() {
+            let instr = block.instrs[ip].clone();
             self.exec_instr(sup, tid, &instr)
         } else {
             let term = block.term.clone();
             self.exec_term(sup, tid, &term)
         };
+        let _ = self.commit_step(tid, end);
+    }
 
-        match end {
-            StepEnd::Commit(cost) => {
-                let t = &mut self.threads[tix];
-                t.icount += 1;
-                self.stats.instrs += 1;
-                let mut total = cost;
-                if self.config.jitter.period > 0
-                    && self.rng.gen_range(0..self.config.jitter.period) == 0
-                {
-                    total += self.rng.gen_range(0..=self.config.jitter.magnitude);
-                }
-                self.threads[tix].clock += total;
+    /// One flat-mode step: copy the pre-decoded op out of the code array
+    /// (no clone — `FlatOp` is `Copy`) and execute it.
+    ///
+    /// Returns the thread's advanced clock if it is still `Ready` after the
+    /// step, `None` otherwise — the scheduler's ready-queue repositions the
+    /// stepped thread from this without re-reading the `Thr`.
+    ///
+    /// The straight-line data ops and intra-function control flow are
+    /// executed inline here and commit through [`Self::commit_ok`]
+    /// directly: no `StepEnd` is built or re-matched on the hot path. One
+    /// mutable borrow of the current frame serves the decode and every hot
+    /// arm (operand reads, the register write, the pc bump), while
+    /// `self.flat`, `self.costs`, `self.mem`, `self.stats`, and
+    /// `self.block_counts` are disjoint fields that coexist with the
+    /// borrow. Everything that can block, spawn, trap on sync state, or
+    /// touch the event sink goes through [`Self::exec_flat_cold`] and the
+    /// usual `StepEnd` accounting.
+    #[inline]
+    fn step_flat(&mut self, sup: &mut dyn Supervisor, tid: ThreadId) -> Option<u64> {
+        // `pending_reacquire` is only ever pushed by forced releases of a
+        // held weak lock, so without weak ops in the program the check can
+        // never fire — one flag load short-circuits a per-step walk of the
+        // thread's state.
+        if self.flat.has_weak_ops && self.try_pending_reacquire(sup, tid) {
+            let t = &self.threads[tid.index()];
+            return (t.state == TState::Ready).then_some(t.clock);
+        }
+        let tix = tid.index();
+        let frame = self.threads[tix]
+            .frames
+            .last_mut()
+            .expect("live thread has frames");
+        let (fidx, pc) = (frame.func.index(), frame.pc as usize);
+        let op = self.flat.funcs[fidx].code[pc];
+        let scost = self.costs[fidx][pc];
+        match op {
+            FlatOp::Copy { dst, src } => {
+                let v = frame.get(src);
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
             }
-            StepEnd::Block(reason) => self.block(tid, reason),
-            StepEnd::Trap(message) => {
-                self.finished = Some(Outcome::Trap {
-                    thread: tid,
-                    message,
-                });
+            FlatOp::UnOp { dst, op: uop, src } => {
+                let v = frame.get(src);
+                let r = match uop {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                };
+                frame.regs[dst.index()] = r;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::BinOp { dst, op: bop, a, b } => {
+                let (x, y) = (frame.get(a), frame.get(b));
+                let r = match bop {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return self.trap(tid, "division by zero".into());
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return self.trap(tid, "remainder by zero".into());
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                    BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                    BinOp::BitAnd => x & y,
+                    BinOp::BitOr => x | y,
+                    BinOp::BitXor => x ^ y,
+                    BinOp::Lt => (x < y) as i64,
+                    BinOp::Le => (x <= y) as i64,
+                    BinOp::Gt => (x > y) as i64,
+                    BinOp::Ge => (x >= y) as i64,
+                    BinOp::Eq => (x == y) as i64,
+                    BinOp::Ne => (x != y) as i64,
+                    BinOp::LogAnd => ((x != 0) && (y != 0)) as i64,
+                    BinOp::LogOr => ((x != 0) || (y != 0)) as i64,
+                };
+                frame.regs[dst.index()] = r;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::AddrOfGlobal {
+                dst,
+                global,
+                offset,
+            } => {
+                let base = self.mem.global_base(global);
+                let off = frame.get(offset);
+                frame.regs[dst.index()] = base + off;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::AddrOfSlot {
+                dst,
+                slot_off,
+                offset,
+            } => {
+                let Some(base) = frame.frame_base else {
+                    return self.trap(tid, "frame has no slot area".into());
+                };
+                let off = frame.get(offset);
+                frame.regs[dst.index()] = base + slot_off + off;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::AddrOfFunc { dst, func } => {
+                frame.regs[dst.index()] = FUNC_PTR_BASE + func.0 as i64;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::PtrAdd { dst, base, offset } => {
+                let v = frame.get(base).wrapping_add(frame.get(offset));
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::Load { dst, addr } => {
+                let a = frame.get(addr);
+                match self.mem.load(a) {
+                    Ok(v) => {
+                        frame.regs[dst.index()] = v;
+                        frame.pc += 1;
+                        self.stats.mem_ops += 1;
+                        self.commit_ok(tix, scost)
+                    }
+                    Err(t) => self.trap(tid, t.to_string()),
+                }
+            }
+            FlatOp::Store { addr, val } => {
+                let a = frame.get(addr);
+                let v = frame.get(val);
+                match self.mem.store(a, v) {
+                    Ok(()) => {
+                        frame.pc += 1;
+                        self.stats.mem_ops += 1;
+                        self.commit_ok(tix, scost)
+                    }
+                    Err(t) => self.trap(tid, t.to_string()),
+                }
+            }
+            FlatOp::Jump {
+                target_pc,
+                target_block,
+            } => {
+                let func = frame.func;
+                frame.pc = target_pc;
+                if self.config.count_blocks {
+                    self.block_counts[func.index()][target_block.index()] += 1;
+                }
+                self.commit_ok(tix, scost)
+            }
+            FlatOp::Branch {
+                cond,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let v = frame.get(cond);
+                let (pc, b) = if v != 0 {
+                    (then_pc, then_block)
+                } else {
+                    (else_pc, else_block)
+                };
+                let func = frame.func;
+                frame.pc = pc;
+                if self.config.count_blocks {
+                    self.block_counts[func.index()][b.index()] += 1;
+                }
+                self.commit_ok(tix, scost)
+            }
+            op => {
+                let end = self.exec_flat_cold(sup, tid, op, scost);
+                self.commit_step(tid, end)
             }
         }
+    }
+
+    /// Account for a finished step — identical in both modes, so the
+    /// jitter RNG draws in the same sequence. Returns the thread's new
+    /// clock for a committed step, `None` for a block or trap.
+    #[inline]
+    fn commit_step(&mut self, tid: ThreadId, end: StepEnd) -> Option<u64> {
+        match end {
+            StepEnd::Commit(cost) => self.commit_ok(tid.index(), cost),
+            StepEnd::Block(reason) => {
+                self.block(tid, reason);
+                None
+            }
+            StepEnd::Trap(message) => self.trap(tid, message),
+        }
+    }
+
+    /// The commit half of [`Self::commit_step`], shared by the flat hot
+    /// arms (which bypass `StepEnd` entirely) and the `StepEnd::Commit`
+    /// arm — one implementation, so the jitter RNG draws in the same
+    /// sequence on every path.
+    #[inline(always)]
+    fn commit_ok(&mut self, tix: usize, cost: u64) -> Option<u64> {
+        self.stats.instrs += 1;
+        let mut total = cost;
+        if self.config.jitter.period > 0 && self.rng.gen_range(0..self.config.jitter.period) == 0 {
+            total += self.rng.gen_range(0..=self.config.jitter.magnitude);
+        }
+        let t = &mut self.threads[tix];
+        t.icount += 1;
+        t.clock += total;
+        Some(t.clock)
+    }
+
+    /// The trap half of [`Self::commit_step`]: ends the run. Out of line —
+    /// a trap happens at most once per execution.
+    #[cold]
+    fn trap(&mut self, tid: ThreadId, message: String) -> Option<u64> {
+        self.finished = Some(Outcome::Trap {
+            thread: tid,
+            message,
+        });
+        None
     }
 
     fn block(&mut self, tid: ThreadId, reason: BlockReason) {
@@ -753,23 +1222,29 @@ impl<'p> Machine<'p> {
         frame.regs[l.index()] = v;
     }
 
-    fn advance_ip(&mut self, tid: ThreadId) {
+    /// In flattened code a block's terminator is its last op, so advancing
+    /// one pc covers both "next instruction" and "fall into terminator".
+    fn advance_pc(&mut self, tid: ThreadId) {
         let frame = self.threads[tid.index()]
             .frames
             .last_mut()
             .expect("live thread has frames");
-        frame.ip += 1;
+        frame.pc += 1;
+    }
+
+    /// Redirect the current frame to the start of `block`.
+    fn goto_block(&mut self, tid: ThreadId, block: BlockId) {
+        let frame = self.threads[tid.index()].frames.last_mut().unwrap();
+        let func = frame.func;
+        frame.pc = self.flat.funcs[func.index()].block_entry[block.index()];
+        self.count_block(func, block);
     }
 
     fn exec_term(&mut self, sup: &mut dyn Supervisor, tid: ThreadId, term: &Terminator) -> StepEnd {
-        let c = self.config.cost.instr;
+        let c = self.cost.instr;
         match term {
             Terminator::Jump(b) => {
-                let frame = self.threads[tid.index()].frames.last_mut().unwrap();
-                let func = frame.func;
-                frame.block = *b;
-                frame.ip = 0;
-                self.count_block(func, *b);
+                self.goto_block(tid, *b);
                 StepEnd::Commit(c)
             }
             Terminator::Branch {
@@ -778,12 +1253,8 @@ impl<'p> Machine<'p> {
                 else_bb,
             } => {
                 let v = self.val(tid, *cond);
-                let frame = self.threads[tid.index()].frames.last_mut().unwrap();
-                let func = frame.func;
                 let target = if v != 0 { *then_bb } else { *else_bb };
-                frame.block = target;
-                frame.ip = 0;
-                self.count_block(func, target);
+                self.goto_block(tid, target);
                 StepEnd::Commit(c)
             }
             Terminator::Return(v) => self.do_return(sup, tid, v.map(|op| self.val(tid, op))),
@@ -803,7 +1274,7 @@ impl<'p> Machine<'p> {
         // missed (e.g. early return paths); emits normal release events so
         // logs stay balanced.
         for held in frame.held_weak.iter().rev() {
-            if let Some(state) = self.sync.weak.get_mut(&held.lock) {
+            if let Some(state) = self.sync.weak.get_mut(held.lock) {
                 state.release(tid);
             }
             self.emit(
@@ -835,6 +1306,9 @@ impl<'p> Machine<'p> {
                 self.main_ret = value.unwrap_or(0);
             }
             self.threads[tix].state = TState::Done;
+            // The thread set changed: a scheduling event, like any
+            // block/wake/spawn (the flat ready-queue relies on this).
+            self.sched_dirty = true;
             self.emit(sup, Event::Exited { thread: tid, time });
             // Wake joiners.
             let ids: Vec<ThreadId> = self
@@ -848,23 +1322,23 @@ impl<'p> Machine<'p> {
             for id in ids {
                 self.wake_thread(id, time, WaitKind::Sync);
             }
-            StepEnd::Commit(self.config.cost.call)
+            StepEnd::Commit(self.cost.call)
         } else {
             // The caller's ip was already advanced when the call was made.
             if let (Some(dst), Some(v)) = (frame.ret_dst, value) {
                 self.set(tid, dst, v);
             }
-            StepEnd::Commit(self.config.cost.call)
+            StepEnd::Commit(self.cost.call)
         }
     }
 
     fn exec_instr(&mut self, sup: &mut dyn Supervisor, tid: ThreadId, instr: &Instr) -> StepEnd {
-        let cost = self.config.cost;
+        let cost = self.cost;
         match instr {
             Instr::Copy { dst, src } => {
                 let v = self.val(tid, *src);
                 self.set(tid, *dst, v);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::UnOp { dst, op, src } => {
@@ -874,7 +1348,7 @@ impl<'p> Machine<'p> {
                     UnOp::Not => (v == 0) as i64,
                 };
                 self.set(tid, *dst, r);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::BinOp { dst, op, a, b } => {
@@ -910,7 +1384,7 @@ impl<'p> Machine<'p> {
                     BinOp::LogOr => ((x != 0) || (y != 0)) as i64,
                 };
                 self.set(tid, *dst, r);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::AddrOfGlobal {
@@ -921,13 +1395,13 @@ impl<'p> Machine<'p> {
                 let base = self.mem.global_base(*global);
                 let off = self.val(tid, *offset);
                 self.set(tid, *dst, base + off);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::AddrOfLocal { dst, local, offset } => {
                 let tix = tid.index();
                 let frame = self.threads[tix].frames.last().unwrap();
-                let layout = &self.layouts[frame.func.index()];
+                let layout = &self.flat.layouts[frame.func.index()];
                 let Some(slot_off) = layout.slot_offset[local.index()] else {
                     return StepEnd::Trap(format!(
                         "address taken of register local {local} (lowering bug)"
@@ -938,18 +1412,18 @@ impl<'p> Machine<'p> {
                 };
                 let off = self.val(tid, *offset);
                 self.set(tid, *dst, base + slot_off + off);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::AddrOfFunc { dst, func } => {
                 self.set(tid, *dst, FUNC_PTR_BASE + func.0 as i64);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::PtrAdd { dst, base, offset } => {
                 let v = self.val(tid, *base).wrapping_add(self.val(tid, *offset));
                 self.set(tid, *dst, v);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
             Instr::Load { dst, addr, .. } => {
@@ -958,7 +1432,7 @@ impl<'p> Machine<'p> {
                     Ok(v) => {
                         self.set(tid, *dst, v);
                         self.stats.mem_ops += 1;
-                        self.advance_ip(tid);
+                        self.advance_pc(tid);
                         StepEnd::Commit(cost.instr + cost.mem)
                     }
                     Err(t) => StepEnd::Trap(t.to_string()),
@@ -970,7 +1444,7 @@ impl<'p> Machine<'p> {
                 match self.mem.store(a, v) {
                     Ok(()) => {
                         self.stats.mem_ops += 1;
-                        self.advance_ip(tid);
+                        self.advance_pc(tid);
                         StepEnd::Commit(cost.instr + cost.mem)
                     }
                     Err(t) => StepEnd::Trap(t.to_string()),
@@ -995,7 +1469,7 @@ impl<'p> Machine<'p> {
                     return StepEnd::Trap("call stack overflow".into());
                 }
                 let argv: Vec<i64> = args.iter().map(|a| self.val(tid, *a)).collect();
-                self.advance_ip(tid); // return will resume past the call
+                self.advance_pc(tid); // return will resume past the call
                 let frame = self.make_frame(target, &argv, *dst);
                 let time = self.threads[tid.index()].clock;
                 self.threads[tid.index()].frames.push(frame);
@@ -1017,8 +1491,8 @@ impl<'p> Machine<'p> {
                 if c <= 0 {
                     return StepEnd::Trap("barrier_init with non-positive count".into());
                 }
-                self.sync.barriers.entry(a).or_default().count = c;
-                self.advance_ip(tid);
+                self.sync.barriers.ensure(a).count = c;
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.sync_op)
             }
             Instr::BarrierWait { addr } => self.do_barrier_wait(sup, tid, self.val(tid, *addr)),
@@ -1089,7 +1563,7 @@ impl<'p> Machine<'p> {
                     },
                 );
                 self.wake_order_stalled();
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.spawn + self.log_cost_sync())
             }
             Instr::Join { tid: t_op } => {
@@ -1116,7 +1590,7 @@ impl<'p> Machine<'p> {
                             time,
                         },
                     );
-                    self.advance_ip(tid);
+                    self.advance_pc(tid);
                     StepEnd::Commit(cost.sync_op + self.log_cost_sync())
                 } else {
                     StepEnd::Block(BlockReason::Join(target))
@@ -1129,14 +1603,14 @@ impl<'p> Machine<'p> {
                 }
                 let a = self.mem.alloc(n, RegionKind::Heap(*site));
                 self.set(tid, *dst, a);
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.call)
             }
             Instr::Free { addr } => {
                 let a = self.val(tid, *addr);
                 match self.mem.dealloc(a) {
                     Ok(()) => {
-                        self.advance_ip(tid);
+                        self.advance_pc(tid);
                         StepEnd::Commit(cost.call)
                     }
                     Err(t) => StepEnd::Trap(t.to_string()),
@@ -1177,7 +1651,7 @@ impl<'p> Machine<'p> {
                 self.stats.syscalls += 1;
                 self.emit(sup, Event::Output { thread: tid, data });
                 self.wake_order_stalled();
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.syscall + len as u64)
             }
             Instr::Print { val } => {
@@ -1195,7 +1669,7 @@ impl<'p> Machine<'p> {
                     },
                 );
                 self.wake_order_stalled();
-                self.advance_ip(tid);
+                self.advance_pc(tid);
                 StepEnd::Commit(cost.syscall)
             }
             Instr::WeakAcquire {
@@ -1219,10 +1693,10 @@ impl<'p> Machine<'p> {
                         .copied();
                     let range = held.and_then(|h| h.range);
                     self.commit_granted_acquire(sup, tid, *lock, range, *granularity);
-                    self.advance_ip(tid);
-                    let mut c = self.config.cost.weak_op;
+                    self.advance_pc(tid);
+                    let mut c = self.cost.weak_op;
                     if self.config.log_weak {
-                        c += self.config.cost.log_write;
+                        c += self.cost.log_write;
                     }
                     return StepEnd::Commit(c);
                 }
@@ -1232,17 +1706,17 @@ impl<'p> Machine<'p> {
                 });
                 match self.try_weak_acquire(sup, tid, *lock, r, *granularity, false) {
                     WeakTry::Acquired => {
-                        self.advance_ip(tid);
-                        let mut c = self.config.cost.weak_op;
+                        self.advance_pc(tid);
+                        let mut c = self.cost.weak_op;
                         if range.is_some() {
-                            c += self.config.cost.range_check;
+                            c += self.cost.range_check;
                         }
                         if self.config.log_weak {
-                            c += self.config.cost.log_write;
+                            c += self.cost.log_write;
                             ExecStats::bump(
                                 &mut self.stats.weak_log_cycles,
                                 *granularity,
-                                self.config.cost.log_write,
+                                self.cost.log_write,
                             );
                         }
                         StepEnd::Commit(c)
@@ -1256,7 +1730,7 @@ impl<'p> Machine<'p> {
                 let frame = self.threads[tix].frames.last_mut().unwrap();
                 if let Some(pos) = frame.held_weak.iter().rposition(|h| h.lock == *lock) {
                     frame.held_weak.remove(pos);
-                    if let Some(state) = self.sync.weak.get_mut(lock) {
+                    if let Some(state) = self.sync.weak.get_mut(*lock) {
                         state.release(tid);
                     }
                 }
@@ -1273,15 +1747,388 @@ impl<'p> Machine<'p> {
                     },
                 );
                 self.wake_weak_waiters(*lock, time);
-                self.advance_ip(tid);
-                StepEnd::Commit(self.config.cost.weak_op)
+                self.advance_pc(tid);
+                StepEnd::Commit(self.cost.weak_op)
             }
         }
     }
 
+    /// Decode and execute one pre-decoded op at the current `(func, pc)`.
+    /// `scost` below is the pre-resolved static commit cost for this pc
+    /// (see [`crate::flat::static_costs`]); arms with dynamic costs compute
+    /// their own. Mirrors `exec_instr` + `exec_term` arm for arm — any
+    /// semantic divergence here is a bug the differential suite exists to
+    /// catch.
+    #[inline]
+    /// The cold remainder of the flat dispatch: calls, sync, I/O, memory
+    /// management, weak ops, and returns. `op` and `scost` arrive already
+    /// decoded by [`Self::step_flat`]; the arms handled there are
+    /// unreachable here.
+    fn exec_flat_cold(
+        &mut self,
+        sup: &mut dyn Supervisor,
+        tid: ThreadId,
+        op: FlatOp,
+        scost: u64,
+    ) -> StepEnd {
+        match op {
+            FlatOp::Copy { .. }
+            | FlatOp::UnOp { .. }
+            | FlatOp::BinOp { .. }
+            | FlatOp::AddrOfGlobal { .. }
+            | FlatOp::AddrOfSlot { .. }
+            | FlatOp::AddrOfFunc { .. }
+            | FlatOp::PtrAdd { .. }
+            | FlatOp::Load { .. }
+            | FlatOp::Store { .. }
+            | FlatOp::Jump { .. }
+            | FlatOp::Branch { .. } => {
+                unreachable!("hot op executed inline by step_flat")
+            }
+            FlatOp::AddrOfRegister { local } => StepEnd::Trap(format!(
+                "address taken of register local {local} (lowering bug)"
+            )),
+            FlatOp::CallDirect { dst, func, args } => self.do_call_flat(sup, tid, func, args, dst),
+            FlatOp::CallIndirect { dst, target, args } => {
+                let v = self.val(tid, target);
+                match decode_func_ptr(v, self.program.funcs.len()) {
+                    Some(f) => self.do_call_flat(sup, tid, f, args, dst),
+                    None => StepEnd::Trap(format!("indirect call through non-function value {v}")),
+                }
+            }
+            FlatOp::Lock { addr } => self.do_lock(sup, tid, self.val(tid, addr)),
+            FlatOp::Unlock { addr } => self.do_unlock(sup, tid, self.val(tid, addr)),
+            FlatOp::BarrierInit { addr, count } => {
+                let a = self.val(tid, addr);
+                let c = self.val(tid, count);
+                if c <= 0 {
+                    return StepEnd::Trap("barrier_init with non-positive count".into());
+                }
+                self.sync.barriers.ensure(a).count = c;
+                self.advance_pc(tid);
+                StepEnd::Commit(scost)
+            }
+            FlatOp::BarrierWait { addr } => self.do_barrier_wait(sup, tid, self.val(tid, addr)),
+            FlatOp::CondWait { cond, lock } => {
+                let (ca, la) = (self.val(tid, cond), self.val(tid, lock));
+                self.do_cond_wait(sup, tid, ca, la)
+            }
+            FlatOp::CondSignal { cond } => {
+                let a = self.val(tid, cond);
+                self.do_cond_signal(sup, tid, a, false)
+            }
+            FlatOp::CondBroadcast { cond } => {
+                let a = self.val(tid, cond);
+                self.do_cond_signal(sup, tid, a, true)
+            }
+            FlatOp::SpawnDirect { dst, func, args } => {
+                if !sup.may_proceed(OrderPoint::Spawn, tid) {
+                    return StepEnd::Block(BlockReason::OrderTurn);
+                }
+                self.do_spawn_flat(sup, tid, func, args, dst)
+            }
+            FlatOp::SpawnIndirect { dst, target, args } => {
+                if !sup.may_proceed(OrderPoint::Spawn, tid) {
+                    return StepEnd::Block(BlockReason::OrderTurn);
+                }
+                let v = self.val(tid, target);
+                match decode_func_ptr(v, self.program.funcs.len()) {
+                    Some(f) => self.do_spawn_flat(sup, tid, f, args, dst),
+                    None => StepEnd::Trap(format!("spawn through non-function value {v}")),
+                }
+            }
+            FlatOp::Join { tid: t_op } => {
+                let v = self.val(tid, t_op);
+                if v < 0 || v as usize >= self.threads.len() {
+                    return StepEnd::Trap(format!("join of invalid thread id {v}"));
+                }
+                let target = ThreadId(v as u32);
+                if target == tid {
+                    return StepEnd::Trap("thread joining itself".into());
+                }
+                if self.threads[target.index()].state == TState::Done {
+                    self.sync.join_seq += 1;
+                    let seq = self.sync.join_seq;
+                    let time = self.threads[tid.index()].clock;
+                    self.stats.sync_ops += 1;
+                    self.emit(
+                        sup,
+                        Event::Sync {
+                            thread: tid,
+                            kind: SyncKind::Join,
+                            addr: v,
+                            seq,
+                            time,
+                        },
+                    );
+                    self.advance_pc(tid);
+                    StepEnd::Commit(scost)
+                } else {
+                    StepEnd::Block(BlockReason::Join(target))
+                }
+            }
+            FlatOp::Malloc { dst, size, site } => {
+                let n = self.val(tid, size);
+                if n <= 0 || n > (1 << 24) {
+                    return StepEnd::Trap(format!("malloc of invalid size {n}"));
+                }
+                let a = self.mem.alloc(n, RegionKind::Heap(site));
+                self.set(tid, dst, a);
+                self.advance_pc(tid);
+                StepEnd::Commit(scost)
+            }
+            FlatOp::Free { addr } => {
+                let a = self.val(tid, addr);
+                match self.mem.dealloc(a) {
+                    Ok(()) => {
+                        self.advance_pc(tid);
+                        StepEnd::Commit(scost)
+                    }
+                    Err(t) => StepEnd::Trap(t.to_string()),
+                }
+            }
+            FlatOp::SysRead {
+                dst,
+                chan,
+                buf,
+                len,
+            } => {
+                let chan = self.val(tid, chan);
+                let buf = self.val(tid, buf);
+                let len = self.val(tid, len).clamp(0, 1 << 20) as usize;
+                self.do_input(sup, tid, chan, buf, len, dst)
+            }
+            FlatOp::SysInput { dst, chan } => {
+                let chan = self.val(tid, chan);
+                self.do_input_scalar(sup, tid, chan, dst)
+            }
+            FlatOp::SysWrite { chan, buf, len } => {
+                if !sup.may_proceed(OrderPoint::Output, tid) {
+                    return StepEnd::Block(BlockReason::OrderTurn);
+                }
+                let _chan = self.val(tid, chan);
+                let buf = self.val(tid, buf);
+                let len = self.val(tid, len).clamp(0, 1 << 20);
+                let mut data = std::mem::take(&mut self.io_buf);
+                data.clear();
+                for i in 0..len {
+                    match self.mem.load(buf + i) {
+                        Ok(v) => data.push(v),
+                        Err(t) => {
+                            self.io_buf = data;
+                            return StepEnd::Trap(t.to_string());
+                        }
+                    }
+                }
+                for &v in &data {
+                    self.output.push((tid, v));
+                }
+                self.stats.syscalls += 1;
+                if self.wants(EventKind::Output) {
+                    let ev = Event::Output {
+                        thread: tid,
+                        data: data.clone(),
+                    };
+                    self.emit(sup, ev);
+                }
+                self.io_buf = data;
+                self.wake_order_stalled();
+                self.advance_pc(tid);
+                StepEnd::Commit(self.cost.syscall + len as u64)
+            }
+            FlatOp::Print { val } => {
+                if !sup.may_proceed(OrderPoint::Output, tid) {
+                    return StepEnd::Block(BlockReason::OrderTurn);
+                }
+                let v = self.val(tid, val);
+                self.output.push((tid, v));
+                self.stats.syscalls += 1;
+                if self.wants(EventKind::Output) {
+                    self.emit(
+                        sup,
+                        Event::Output {
+                            thread: tid,
+                            data: vec![v],
+                        },
+                    );
+                }
+                self.wake_order_stalled();
+                self.advance_pc(tid);
+                StepEnd::Commit(scost)
+            }
+            FlatOp::WeakAcquire {
+                lock,
+                granularity,
+                range,
+            } => {
+                if let Some(pos) = self.threads[tid.index()]
+                    .weak_granted
+                    .iter()
+                    .position(|l| *l == lock)
+                {
+                    // A forced handoff already completed this acquire:
+                    // consuming it here makes the acquisition effective and
+                    // emits its (recorded) event.
+                    self.threads[tid.index()].weak_granted.remove(pos);
+                    let held = self.threads[tid.index()]
+                        .frames
+                        .last()
+                        .and_then(|f| f.held_weak.iter().rev().find(|h| h.lock == lock))
+                        .copied();
+                    let range = held.and_then(|h| h.range);
+                    self.commit_granted_acquire(sup, tid, lock, range, granularity);
+                    self.advance_pc(tid);
+                    let mut c = self.cost.weak_op;
+                    if self.config.log_weak {
+                        c += self.cost.log_write;
+                    }
+                    return StepEnd::Commit(c);
+                }
+                let r = range.map(|(lo, hi)| {
+                    let (a, b) = (self.val(tid, lo), self.val(tid, hi));
+                    (a.min(b), a.max(b))
+                });
+                match self.try_weak_acquire(sup, tid, lock, r, granularity, false) {
+                    WeakTry::Acquired => {
+                        self.advance_pc(tid);
+                        if self.config.log_weak {
+                            ExecStats::bump(
+                                &mut self.stats.weak_log_cycles,
+                                granularity,
+                                self.cost.log_write,
+                            );
+                        }
+                        // scost pre-resolves weak_op + range_check? + log?.
+                        StepEnd::Commit(scost)
+                    }
+                    WeakTry::Blocked(reason) => StepEnd::Block(reason),
+                    WeakTry::Stalled => StepEnd::Block(BlockReason::OrderTurn),
+                }
+            }
+            FlatOp::WeakRelease { lock } => {
+                let tix = tid.index();
+                let frame = self.threads[tix].frames.last_mut().unwrap();
+                if let Some(pos) = frame.held_weak.iter().rposition(|h| h.lock == lock) {
+                    frame.held_weak.remove(pos);
+                    if let Some(state) = self.sync.weak.get_mut(lock) {
+                        state.release(tid);
+                    }
+                }
+                // Releasing a lock we no longer hold (forced release took
+                // it) is a no-op: the forced-release protocol already
+                // queued a reacquire balanced against this release.
+                let time = self.threads[tix].clock;
+                self.emit(
+                    sup,
+                    Event::WeakRelease {
+                        thread: tid,
+                        lock,
+                        time,
+                    },
+                );
+                self.wake_weak_waiters(lock, time);
+                self.advance_pc(tid);
+                StepEnd::Commit(scost)
+            }
+            FlatOp::Return { val } => self.do_return(sup, tid, val.map(|o| self.val(tid, o))),
+        }
+    }
+
+    /// Flat-path call: argv is marshalled through the machine's scratch
+    /// buffer instead of a fresh `Vec` per call.
+    fn do_call_flat(
+        &mut self,
+        sup: &mut dyn Supervisor,
+        tid: ThreadId,
+        target: FuncId,
+        args: ArgRange,
+        dst: Option<LocalId>,
+    ) -> StepEnd {
+        if self.threads[tid.index()].frames.len() >= 4096 {
+            return StepEnd::Trap("call stack overflow".into());
+        }
+        let mut argv = std::mem::take(&mut self.argv);
+        argv.clear();
+        for i in args.as_range() {
+            let op = self.flat.args[i];
+            argv.push(self.val(tid, op));
+        }
+        self.advance_pc(tid); // return will resume past the call
+        let frame = self.make_frame(target, &argv, dst);
+        self.argv = argv;
+        let time = self.threads[tid.index()].clock;
+        self.threads[tid.index()].frames.push(frame);
+        self.emit(
+            sup,
+            Event::FuncEnter {
+                thread: tid,
+                func: target,
+                time,
+            },
+        );
+        StepEnd::Commit(self.cost.call)
+    }
+
+    /// Flat-path spawn (caller has already passed the `OrderPoint::Spawn`
+    /// gate); argv reuses the scratch buffer.
+    fn do_spawn_flat(
+        &mut self,
+        sup: &mut dyn Supervisor,
+        tid: ThreadId,
+        target: FuncId,
+        args: ArgRange,
+        dst: Option<LocalId>,
+    ) -> StepEnd {
+        let mut argv = std::mem::take(&mut self.argv);
+        argv.clear();
+        for i in args.as_range() {
+            let op = self.flat.args[i];
+            argv.push(self.val(tid, op));
+        }
+        let time = self.threads[tid.index()].clock;
+        let child = self.spawn_thread(target, &argv, time + self.cost.spawn);
+        self.argv = argv;
+        if let Some(d) = dst {
+            self.set(tid, d, child.0 as i64);
+        }
+        self.sync.spawn_seq += 1;
+        let seq = self.sync.spawn_seq;
+        self.stats.sync_ops += 1;
+        self.emit(
+            sup,
+            Event::Spawned {
+                parent: tid,
+                child,
+                func: target,
+                time,
+            },
+        );
+        self.emit(
+            sup,
+            Event::Sync {
+                thread: tid,
+                kind: SyncKind::Spawn,
+                addr: child.0 as i64,
+                seq,
+                time,
+            },
+        );
+        self.emit(
+            sup,
+            Event::FuncEnter {
+                thread: child,
+                func: target,
+                time: time + self.cost.spawn,
+            },
+        );
+        self.wake_order_stalled();
+        self.advance_pc(tid);
+        StepEnd::Commit(self.cost.spawn + self.log_cost_sync())
+    }
+
     fn log_cost_sync(&mut self) -> u64 {
         if self.config.log_sync {
-            self.config.cost.log_write
+            self.cost.log_write
         } else {
             0
         }
@@ -1291,7 +2138,7 @@ impl<'p> Machine<'p> {
         if !sup.may_proceed(OrderPoint::Mutex(addr), tid) {
             return StepEnd::Block(BlockReason::OrderTurn);
         }
-        let m = self.sync.mutexes.entry(addr).or_default();
+        let m = self.sync.mutexes.ensure(addr);
         match m.holder {
             None => {
                 m.holder = Some(tid);
@@ -1310,8 +2157,8 @@ impl<'p> Machine<'p> {
                     },
                 );
                 self.wake_order_stalled();
-                self.advance_ip(tid);
-                StepEnd::Commit(self.config.cost.sync_op + self.log_cost_sync())
+                self.advance_pc(tid);
+                StepEnd::Commit(self.cost.sync_op + self.log_cost_sync())
             }
             Some(h) if h == tid => StepEnd::Trap(format!("recursive lock of mutex@{addr}")),
             Some(_) => StepEnd::Block(BlockReason::Mutex(addr)),
@@ -1320,7 +2167,7 @@ impl<'p> Machine<'p> {
 
     fn do_unlock(&mut self, sup: &mut dyn Supervisor, tid: ThreadId, addr: i64) -> StepEnd {
         let _ = sup;
-        let Some(m) = self.sync.mutexes.get_mut(&addr) else {
+        let Some(m) = self.sync.mutexes.get_mut(addr) else {
             return StepEnd::Trap(format!("unlock of never-locked mutex@{addr}"));
         };
         if m.holder != Some(tid) {
@@ -1330,17 +2177,17 @@ impl<'p> Machine<'p> {
         let at = self.threads[tid.index()].clock;
         self.stats.sync_ops += 1;
         self.wake_mutex_waiters(addr, at);
-        self.advance_ip(tid);
-        StepEnd::Commit(self.config.cost.sync_op)
+        self.advance_pc(tid);
+        StepEnd::Commit(self.cost.sync_op)
     }
 
     fn do_barrier_wait(&mut self, sup: &mut dyn Supervisor, tid: ThreadId, addr: i64) -> StepEnd {
         if self.threads[tid.index()].barrier_pass {
             self.threads[tid.index()].barrier_pass = false;
-            self.advance_ip(tid);
-            return StepEnd::Commit(self.config.cost.sync_op + self.log_cost_sync());
+            self.advance_pc(tid);
+            return StepEnd::Commit(self.cost.sync_op + self.log_cost_sync());
         }
-        let Some(b) = self.sync.barriers.get_mut(&addr) else {
+        let Some(b) = self.sync.barriers.get_mut(addr) else {
             return StepEnd::Trap(format!("barrier_wait on uninitialized barrier@{addr}"));
         };
         if b.count == 0 {
@@ -1397,7 +2244,7 @@ impl<'p> Machine<'p> {
             if !sup.may_proceed(OrderPoint::Mutex(lock_addr), tid) {
                 return StepEnd::Block(BlockReason::OrderTurn);
             }
-            let m = self.sync.mutexes.entry(lock_addr).or_default();
+            let m = self.sync.mutexes.ensure(lock_addr);
             match m.holder {
                 None => {
                     m.holder = Some(tid);
@@ -1417,14 +2264,14 @@ impl<'p> Machine<'p> {
                         },
                     );
                     self.wake_order_stalled();
-                    self.advance_ip(tid);
-                    StepEnd::Commit(self.config.cost.sync_op + self.log_cost_sync())
+                    self.advance_pc(tid);
+                    StepEnd::Commit(self.cost.sync_op + self.log_cost_sync())
                 }
                 Some(_) => StepEnd::Block(BlockReason::CondReacquire(lock_addr)),
             }
         } else {
             // First execution: must hold the mutex; release it and wait.
-            let Some(m) = self.sync.mutexes.get_mut(&lock_addr) else {
+            let Some(m) = self.sync.mutexes.get_mut(lock_addr) else {
                 return StepEnd::Trap("cond_wait without holding the mutex".into());
             };
             if m.holder != Some(tid) {
@@ -1434,7 +2281,7 @@ impl<'p> Machine<'p> {
             let at = self.threads[tix].clock;
             self.stats.sync_ops += 1;
             self.wake_mutex_waiters(lock_addr, at);
-            self.sync.conds.entry(cond_addr).or_default().waiters.push(tid);
+            self.sync.conds.ensure(cond_addr).waiters.push(tid);
             StepEnd::Block(BlockReason::Cond(cond_addr))
         }
     }
@@ -1449,14 +2296,14 @@ impl<'p> Machine<'p> {
         let now = self.threads[tid.index()].clock;
         loop {
             let cand = {
-                let c = self.sync.conds.entry(addr).or_default();
+                let c = self.sync.conds.ensure(addr);
                 c.waiters
                     .iter()
                     .copied()
                     .find(|w| sup.may_proceed(OrderPoint::Cond(addr), *w))
             };
             let Some(w) = cand else { break };
-            let c = self.sync.conds.get_mut(&addr).expect("cond entry exists");
+            let c = self.sync.conds.get_mut(addr).expect("cond entry exists");
             c.waiters.retain(|x| *x != w);
             c.seq += 1;
             let seq = c.seq;
@@ -1478,8 +2325,8 @@ impl<'p> Machine<'p> {
                 break;
             }
         }
-        self.advance_ip(tid);
-        StepEnd::Commit(self.config.cost.sync_op + self.log_cost_sync())
+        self.advance_pc(tid);
+        StepEnd::Commit(self.cost.sync_op + self.log_cost_sync())
     }
 
     fn do_input(
@@ -1521,13 +2368,13 @@ impl<'p> Machine<'p> {
                 time,
             },
         );
-        self.advance_ip(tid);
+        self.advance_pc(tid);
         let log = if self.config.log_input {
-            self.config.cost.log_write + (len as u64) / 4
+            self.cost.log_write + (len as u64) / 4
         } else {
             0
         };
-        StepEnd::Commit(self.config.cost.syscall + latency + log)
+        StepEnd::Commit(self.cost.syscall + latency + log)
     }
 
     fn do_input_scalar(
@@ -1561,13 +2408,13 @@ impl<'p> Machine<'p> {
                 time,
             },
         );
-        self.advance_ip(tid);
+        self.advance_pc(tid);
         let log = if self.config.log_input {
-            self.config.cost.log_write
+            self.cost.log_write
         } else {
             0
         };
-        StepEnd::Commit(self.config.cost.syscall + latency + log)
+        StepEnd::Commit(self.cost.syscall + latency + log)
     }
 
     /// Emit the WeakAcquire event (and account for it) for a consumed
@@ -1581,7 +2428,7 @@ impl<'p> Machine<'p> {
         range: Option<(i64, i64)>,
         gran: LockGranularity,
     ) {
-        let state = self.sync.weak.entry(lock).or_default();
+        let state = self.sync.weak.ensure(lock);
         state.seq += 1;
         let seq = state.seq;
         ExecStats::bump(&mut self.stats.weak_acquires, gran, 1);
@@ -1589,7 +2436,7 @@ impl<'p> Machine<'p> {
             ExecStats::bump(
                 &mut self.stats.weak_log_cycles,
                 gran,
-                self.config.cost.log_write,
+                self.cost.log_write,
             );
         }
         let time = self.threads[tid.index()].clock;
@@ -1619,7 +2466,7 @@ impl<'p> Machine<'p> {
         if !sup.may_proceed(OrderPoint::Weak(lock), tid) {
             return WeakTry::Stalled;
         }
-        let state = self.sync.weak.entry(lock).or_default();
+        let state = self.sync.weak.ensure(lock);
         if !self.config.weak_always_succeed {
             if let Some(conflict) = state.conflict_with(range) {
                 if conflict.thread != tid {
@@ -1653,7 +2500,7 @@ impl<'p> Machine<'p> {
         self.wake_order_stalled();
         if is_reacquire {
             // Reacquire cost: same as a normal weak op.
-            self.threads[tid.index()].clock += self.config.cost.weak_op;
+            self.threads[tid.index()].clock += self.cost.weak_op;
         }
         WeakTry::Acquired
     }
@@ -2005,5 +2852,102 @@ mod tests {
             },
         );
         assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+
+    /// Run `src` in both interpreter modes and require byte-identical
+    /// results, including the full event trace. The cross-workload version
+    /// of this check lives in `tests/vm_differential.rs`; this one keeps
+    /// the invariant enforced from inside the crate.
+    fn assert_modes_agree(src: &str, seed: u64) {
+        let p = compile(src).unwrap();
+        let cfg = ExecConfig {
+            seed,
+            collect_trace: true,
+            count_blocks: true,
+            ..ExecConfig::default()
+        };
+        let flat = execute_mode(&p, &cfg, InterpMode::Flat);
+        let refr = execute_mode(&p, &cfg, InterpMode::Reference);
+        assert_eq!(flat.outcome, refr.outcome);
+        assert_eq!(flat.output, refr.output);
+        assert_eq!(flat.state_hash, refr.state_hash);
+        assert_eq!(flat.makespan, refr.makespan);
+        assert_eq!(flat.stats, refr.stats);
+        assert_eq!(flat.trace, refr.trace);
+        assert_eq!(flat.block_counts, refr.block_counts);
+    }
+
+    #[test]
+    fn flat_and_reference_agree_on_contended_mutex() {
+        let src = "int g; lock_t m;
+             void w(int n) { int i; for (i = 0; i < 50; i = i + 1) {
+                lock(&m); g = g + n; unlock(&m); } }
+             int main() { int t1; int t2;
+                t1 = spawn(w, 1); t2 = spawn(w, 2); w(3);
+                join(t1); join(t2); print(g); return 0; }";
+        for seed in [0, 7, 99] {
+            assert_modes_agree(src, seed);
+        }
+    }
+
+    #[test]
+    fn flat_and_reference_agree_on_barrier_cond_io() {
+        let src = "int stage; lock_t m; cond_t c; barrier_t b; int buf[4];
+             void w(int id) {
+                barrier_init(&b, 2);
+                sys_read(id, &buf[0], 4);
+                barrier_wait(&b);
+                lock(&m);
+                while (stage < 1) { cond_wait(&c, &m); }
+                unlock(&m);
+                print(buf[0] + id);
+             }
+             int main() { int t;
+                barrier_init(&b, 2);
+                t = spawn(w, 1);
+                barrier_wait(&b);
+                lock(&m); stage = 1; cond_broadcast(&c); unlock(&m);
+                join(t); return 0; }";
+        for seed in [1, 13] {
+            assert_modes_agree(src, seed);
+        }
+    }
+
+    #[test]
+    fn flat_and_reference_agree_on_traps() {
+        for src in [
+            "int main() { int x; x = 0; return 1 / x; }",
+            "int main() { int *p; p = 0; return *p; }",
+            "int f(int n) { return f(n); } int main() { return f(0); }",
+        ] {
+            assert_modes_agree(src, 0);
+        }
+    }
+
+    #[test]
+    fn reference_mode_env_var_is_honored_by_explicit_mode_calls() {
+        // `execute` resolves the mode once per process from
+        // CHIMERA_VM_REFERENCE; explicit calls bypass the cache entirely.
+        let p = compile("int main() { print(5); return 0; }").unwrap();
+        let cfg = ExecConfig::default();
+        let r = execute_mode(&p, &cfg, InterpMode::Reference);
+        assert_eq!(r.output_of(ThreadId(0)), vec![5]);
+    }
+
+    #[test]
+    fn step_limit_agrees_across_modes_mid_burst() {
+        // The limit must trip at the same retired-instruction count even
+        // when the flat path is bursting a single runnable thread.
+        let p = compile("int main() { while (1) {} return 0; }").unwrap();
+        let cfg = ExecConfig {
+            max_steps: 1_000,
+            ..ExecConfig::default()
+        };
+        let flat = execute_mode(&p, &cfg, InterpMode::Flat);
+        let refr = execute_mode(&p, &cfg, InterpMode::Reference);
+        assert_eq!(flat.outcome, Outcome::StepLimit);
+        assert_eq!(flat.outcome, refr.outcome);
+        assert_eq!(flat.stats.instrs, refr.stats.instrs);
+        assert_eq!(flat.makespan, refr.makespan);
     }
 }

@@ -48,6 +48,11 @@ impl fmt::Display for MemTrap {
     }
 }
 
+/// `global_map` sentinel: a global region that has been `free`d.
+const FREED_GLOBAL: u32 = u32::MAX - 1;
+/// `global_map` sentinel: no region at this address (the reserved NULL cell).
+const NO_REGION: u32 = u32::MAX;
+
 /// The machine's memory.
 #[derive(Debug, Clone)]
 pub struct Memory {
@@ -55,6 +60,26 @@ pub struct Memory {
     regions: Vec<Region>,
     /// Base address of each global, indexed by `GlobalId`.
     global_base: Vec<i64>,
+    /// Exact region index per address of the static global area (built once
+    /// at layout; globals never move). Loops that alternate between two
+    /// globals — radix's `keys[j]` / `rank[k]` histogram, say — would
+    /// otherwise thrash `last_region` and binary-search on every access.
+    /// [`FREED_GLOBAL`] marks a global that was `free`d (keeps the
+    /// use-after-free trap exact) and [`NO_REGION`] the reserved NULL cell.
+    global_map: Vec<u32>,
+    /// While every address in `1..frontier` is a live global cell (the
+    /// common case: globals are laid out back-to-back and almost never
+    /// freed), this holds `frontier - 1` and a static-area access is one
+    /// compare plus one `cells` read — not even the `global_map` load.
+    /// Freeing any global drops it to 0, which routes everything through
+    /// the exact map. The NULL cell at address 0 is excluded by the
+    /// `addr - 1` rotation in `load`/`store`.
+    dense_limit: u64,
+    /// Index of the last region hit by `region_of` — accesses cluster
+    /// heavily per region, so checking it first skips the binary search
+    /// on the hot load/store path for dynamic (frame/heap) regions.
+    /// Purely a cache: never observable.
+    last_region: std::cell::Cell<usize>,
 }
 
 impl Memory {
@@ -76,16 +101,34 @@ impl Memory {
                 alive: true,
             });
         }
+        let mut global_map = vec![NO_REGION; cells.len()];
+        for (i, r) in regions.iter().enumerate() {
+            for a in r.start..r.start + r.len {
+                global_map[a as usize] = i as u32;
+            }
+        }
+        let dense = global_map[1..].iter().all(|&r| r != NO_REGION);
         Memory {
+            dense_limit: if dense { (cells.len() - 1) as u64 } else { 0 },
             cells,
             regions,
             global_base,
+            global_map,
+            last_region: std::cell::Cell::new(0),
         }
     }
 
     /// Base address of a global.
     pub fn global_base(&self, g: GlobalId) -> i64 {
         self.global_base[g.index()]
+    }
+
+    /// First address past the statically laid-out globals. Every address
+    /// below this is known at program-load time, which is what lets the
+    /// sync tables use dense `Vec` indexing for static sync objects and
+    /// spill to a map only for heap-allocated ones.
+    pub fn frontier(&self) -> i64 {
+        self.cells.len() as i64
     }
 
     /// Allocate a fresh region (bump allocation; addresses are never
@@ -114,6 +157,13 @@ impl Memory {
         {
             Some(r) => {
                 r.alive = false;
+                let (start, len) = (r.start, r.len);
+                if (start as u64) < self.global_map.len() as u64 {
+                    for a in start..start + len {
+                        self.global_map[a as usize] = FREED_GLOBAL;
+                    }
+                    self.dense_limit = 0;
+                }
                 Ok(())
             }
             None => Err(MemTrap {
@@ -123,7 +173,14 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn region_of(&self, addr: i64) -> Option<&Region> {
+        let hint = self.last_region.get();
+        if let Some(r) = self.regions.get(hint) {
+            if addr >= r.start && addr < r.start + r.len {
+                return Some(r);
+            }
+        }
         // Regions are sorted by start (bump allocation): binary search.
         let idx = self
             .regions
@@ -131,6 +188,7 @@ impl Memory {
             .checked_sub(1)?;
         let r = &self.regions[idx];
         if addr < r.start + r.len {
+            self.last_region.set(idx);
             Some(r)
         } else {
             None
@@ -138,7 +196,30 @@ impl Memory {
     }
 
     /// Read one cell with bounds checking.
+    #[inline]
     pub fn load(&self, addr: i64) -> Result<i64, MemTrap> {
+        // Fully-live static area: one compare, one read. The `addr - 1`
+        // rotation sends the NULL cell (and negatives) past the limit.
+        if (addr as u64).wrapping_sub(1) < self.dense_limit {
+            return Ok(self.cells[addr as usize]);
+        }
+        // Static global area with holes (a global was freed): the map
+        // encodes liveness directly, so this path is still one compare and
+        // one load — no `Region` deref at all. The `u64` cast folds
+        // negative addresses into the dynamic-region path.
+        if (addr as u64) < self.global_map.len() as u64 {
+            if self.global_map[addr as usize] < FREED_GLOBAL {
+                return Ok(self.cells[addr as usize]);
+            }
+            return Err(MemTrap {
+                addr,
+                reason: if self.global_map[addr as usize] == FREED_GLOBAL {
+                    "use after free".into()
+                } else {
+                    "load outside any allocated region".into()
+                },
+            });
+        }
         match self.region_of(addr) {
             Some(r) if r.alive => Ok(self.cells[addr as usize]),
             Some(_) => Err(MemTrap {
@@ -153,7 +234,26 @@ impl Memory {
     }
 
     /// Write one cell with bounds checking.
+    #[inline]
     pub fn store(&mut self, addr: i64, val: i64) -> Result<(), MemTrap> {
+        if (addr as u64).wrapping_sub(1) < self.dense_limit {
+            self.cells[addr as usize] = val;
+            return Ok(());
+        }
+        if (addr as u64) < self.global_map.len() as u64 {
+            if self.global_map[addr as usize] < FREED_GLOBAL {
+                self.cells[addr as usize] = val;
+                return Ok(());
+            }
+            return Err(MemTrap {
+                addr,
+                reason: if self.global_map[addr as usize] == FREED_GLOBAL {
+                    "store after free".into()
+                } else {
+                    "store outside any allocated region".into()
+                },
+            });
+        }
         match self.region_of(addr) {
             Some(r) if r.alive => {
                 self.cells[addr as usize] = val;

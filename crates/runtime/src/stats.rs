@@ -54,6 +54,16 @@ impl ExecStats {
     pub fn bump(map: &mut BTreeMap<LockGranularity, u64>, g: LockGranularity, by: u64) {
         *map.entry(g).or_insert(0) += by;
     }
+
+    /// Retired instructions per wall-clock second for a run that took
+    /// `elapsed` — the `interp_scaling` bench's throughput metric.
+    pub fn instrs_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.instrs as f64 / secs
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@
 use chimera_testkit::rng::Rng;
 
 /// Latency and data model for simulated I/O.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// All-scalar and `Copy` so an [`crate::ExecConfig`] can be shared by
+/// reference across parallel trials without deep-cloning per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoModel {
     /// Base cost of a file-channel read, in cycles.
     pub file_base: u64,
@@ -112,7 +115,7 @@ mod tests {
             jitter: 0,
             ..IoModel::default()
         };
-        let mut w = World::new(1, io.clone());
+        let mut w = World::new(1, io);
         let file = w.latency(0, 100);
         let net = w.latency(io.net_chan_base, 100);
         assert!(net > 5 * file);

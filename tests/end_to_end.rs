@@ -107,10 +107,7 @@ fn replay_from_persisted_log_bytes() {
     let analysis = analyze_workload(&w, 2, &OptSet::all(), 2, &exec);
     let rec = chimera_replay::record(
         &analysis.instrumented,
-        &ExecConfig {
-            seed: 21,
-            ..exec.clone()
-        },
+        &ExecConfig { seed: 21, ..exec },
     );
     let bytes = rec.logs.to_bytes();
     let decoded = chimera_replay::ReplayLogs::from_bytes(&bytes).expect("decodable");
