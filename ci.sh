@@ -23,6 +23,13 @@ echo "== interpreter differential suite (flat vs reference) =="
 # in the suite above too; invoked explicitly so a failure is unmissable.
 cargo test -q --offline --test vm_differential
 
+echo "== DRF-equivalence certification =="
+# Every workload certifies race-free instrumented and every dynamic race
+# joins a static relay pair; racy corpus + generative sweep race
+# uninstrumented (DESIGN.md §10). Runs in the suite above too; invoked
+# explicitly so a failure is unmissable.
+cargo test -q --offline --test drf_equivalence
+
 echo "== clippy (deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -38,6 +45,13 @@ echo "== interpreter scaling smoke (1 sample) =="
 # BENCH_vm.json is refreshed manually (see EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench interp_scaling
+
+echo "== race-detector overhead smoke (1 sample) =="
+# Proves the FastTrack detector still attaches cleanly to every bench
+# workload (and that they stay dynamically race-free); committed
+# BENCH_drd.json is refreshed manually (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench drd_overhead
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

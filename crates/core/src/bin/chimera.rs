@@ -7,6 +7,7 @@
 //! chimera record <file.mc> -o <log> [--seed N] # instrument + record
 //! chimera replay <file.mc> <log> [--seed N]    # replay from a log file
 //! chimera ir <file.mc>                         # dump the IR
+//! chimera drd <file.mc> [--instrumented]       # dynamic race report
 //! ```
 //!
 //! `record` and `replay` must agree on the file and options so the
@@ -36,12 +37,15 @@ struct Cli {
     seed: u64,
     naive: bool,
     opt: bool,
+    instrumented: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        return Err("usage: chimera <races|plan|run|record|replay|ir> <file.mc> [...]".into());
+        return Err(
+            "usage: chimera <races|plan|run|record|replay|ir|drd> <file.mc> [...]".into(),
+        );
     }
     let mut cli = Cli {
         command: argv[0].clone(),
@@ -51,6 +55,7 @@ fn parse_cli() -> Result<Cli, String> {
         seed: 0,
         naive: false,
         opt: false,
+        instrumented: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -72,6 +77,10 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--opt" => {
                 cli.opt = true;
+                i += 1;
+            }
+            "--instrumented" => {
+                cli.instrumented = true;
                 i += 1;
             }
             arg => {
@@ -198,8 +207,37 @@ fn run() -> Result<(), String> {
                     .into())
             }
         }
+        "drd" => {
+            // Dynamic (FastTrack) race detection over one execution. With
+            // --instrumented the weak-lock-instrumented program runs
+            // instead — the DRF-equivalence check: it should be race-free.
+            let (target, label) = if cli.instrumented {
+                let analysis = analyze(
+                    &program,
+                    &PipelineConfig {
+                        opts,
+                        ..PipelineConfig::default()
+                    },
+                );
+                (analysis.instrumented.clone(), "instrumented")
+            } else {
+                (program.clone(), "uninstrumented")
+            };
+            let run = chimera::drd::detect(&target, &exec);
+            report_exec(&run.result);
+            print!("{}", run.report.describe(&target));
+            println!(
+                "{label}: {} racy pair(s), {} dynamic race observation(s)",
+                run.report.pairs.len(),
+                run.report.races
+            );
+            if run.report.is_race_free() {
+                println!("execution is data-race-free");
+            }
+            Ok(())
+        }
         other => Err(format!(
-            "unknown command '{other}' (races|plan|run|record|replay|ir)"
+            "unknown command '{other}' (races|plan|run|record|replay|ir|drd)"
         )),
     }
 }

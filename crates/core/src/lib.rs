@@ -60,12 +60,13 @@ pub use experiment::{
     threshold_sweep, AblationRow, Breakdown, Table2Row,
 };
 pub use pipeline::{
-    analyze, analyze_with_profile, measure, measure_trials, Analysis, Measurement,
-    PipelineConfig, TrialSummary,
+    analyze, analyze_with_profile, certify_drf, measure, measure_trials, Analysis,
+    DrfCertificate, Measurement, PipelineConfig, TrialSummary,
 };
 
 // Re-export the member crates for one-stop access.
 pub use chimera_bounds as bounds;
+pub use chimera_drd as drd;
 pub use chimera_instrument as instrument;
 pub use chimera_instrument::OptSet;
 pub use chimera_minic as minic;

@@ -9,12 +9,14 @@
 //!                record (log inputs + sync + weak-lock order) --> replay
 //! ```
 
+use chimera_drd::{detect, DrfReport};
 use chimera_instrument::{instrument, OptSet, Plan};
-use chimera_minic::ir::Program;
+use chimera_minic::ir::{AccessId, Program};
 use chimera_profile::{profile_runs, ProfileData};
 use chimera_relay::{detect_races, RaceReport};
 use chimera_replay::{record, replay, verify_determinism, Recording, ReplayRun};
 use chimera_runtime::{execute, ExecConfig, ExecResult};
+use std::collections::BTreeSet;
 
 /// Configuration for [`analyze`].
 #[derive(Debug, Clone)]
@@ -170,6 +172,105 @@ pub fn measure_trials(analysis: &Analysis, exec: &ExecConfig, trials: u32) -> Tr
     }
 }
 
+/// The DRF-equivalence certificate for one analyzed program, plus the
+/// dynamic-vs-static precision join.
+///
+/// Chimera's replay correctness rests on the instrumented program being
+/// data-race-free (every surviving race is serialized by a weak-lock), so
+/// that logging the sync order alone pins down the execution. This stage
+/// checks the claim dynamically: the uninstrumented and instrumented
+/// programs each run under the FastTrack detector across several seeds,
+/// and the certificate *holds* iff no instrumented run shows a race.
+///
+/// Because dynamic races carry static [`AccessId`] provenance, the same
+/// runs double as a soundness/precision probe of RELAY: every dynamic
+/// pair must appear among the static candidates (`missed` is empty), and
+/// the fraction of static candidates never dynamically confirmed is an
+/// upper bound estimate of the static false-positive ratio.
+#[derive(Debug, Clone)]
+pub struct DrfCertificate {
+    /// Seeds the certificate covers.
+    pub seeds: Vec<u64>,
+    /// Union of dynamic races on the *uninstrumented* program.
+    pub uninstrumented: DrfReport,
+    /// Union of dynamic races on the *instrumented* program (empty iff
+    /// the certificate holds).
+    pub instrumented: DrfReport,
+    /// Dynamic pairs also predicted statically.
+    pub joined: usize,
+    /// Dynamic pairs RELAY did *not* predict — a static soundness bug if
+    /// nonempty.
+    pub missed: Vec<(AccessId, AccessId)>,
+    /// Static candidates never dynamically confirmed on these seeds.
+    pub static_only: usize,
+    /// `static_only / static total` (0 when there are no static pairs):
+    /// the observed upper bound on RELAY's false-positive ratio.
+    pub false_positive_ratio: f64,
+}
+
+impl DrfCertificate {
+    /// Did every instrumented run come out race-free?
+    pub fn holds(&self) -> bool {
+        self.instrumented.is_race_free()
+    }
+
+    /// Is every dynamic race statically predicted (RELAY sound on these
+    /// runs)?
+    pub fn static_sound(&self) -> bool {
+        self.missed.is_empty()
+    }
+}
+
+/// Run the DRF-equivalence stage: detect races dynamically on the
+/// uninstrumented and instrumented programs across `seeds` and join the
+/// uninstrumented findings against RELAY's static candidates.
+///
+/// Seeds are independent, so the 2×`seeds` detector runs fan out via
+/// [`chimera_runtime::par_map`] (`CHIMERA_SERIAL=1` forces a serial
+/// loop); reports merge in seed order, so the result is identical either
+/// way.
+pub fn certify_drf(analysis: &Analysis, exec: &ExecConfig, seeds: &[u64]) -> DrfCertificate {
+    let runs = chimera_runtime::par_map(seeds, |&seed| {
+        let cfg = ExecConfig {
+            seed,
+            ..*exec
+        };
+        let u = detect(&analysis.program, &cfg);
+        let i = detect(&analysis.instrumented, &cfg);
+        (u.report, i.report)
+    });
+    let mut uninstrumented = DrfReport::default();
+    let mut instrumented = DrfReport::default();
+    for (u, i) in &runs {
+        uninstrumented.merge(u);
+        instrumented.merge(i);
+    }
+    let statics: BTreeSet<(AccessId, AccessId)> =
+        analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+    let missed: Vec<(AccessId, AccessId)> = uninstrumented
+        .pairs
+        .iter()
+        .copied()
+        .filter(|p| !statics.contains(p))
+        .collect();
+    let joined = uninstrumented.pairs.len() - missed.len();
+    let static_only = statics.len() - joined;
+    let false_positive_ratio = if statics.is_empty() {
+        0.0
+    } else {
+        static_only as f64 / statics.len() as f64
+    };
+    DrfCertificate {
+        seeds: seeds.to_vec(),
+        uninstrumented,
+        instrumented,
+        joined,
+        missed,
+        static_only,
+        false_positive_ratio,
+    }
+}
+
 fn ratio(a: u64, b: u64) -> f64 {
     if b == 0 {
         0.0
@@ -254,6 +355,22 @@ mod tests {
         // Recording still works (DRF logs only) and replays.
         let m = measure(&a, &ExecConfig::default(), 7);
         assert!(m.deterministic);
+    }
+
+    #[test]
+    fn drf_certificate_holds_for_instrumented_racy_program() {
+        let p = compile(RACY).unwrap();
+        let a = analyze(&p, &PipelineConfig::default());
+        let c = certify_drf(&a, &ExecConfig::default(), &[1, 42]);
+        assert!(!c.uninstrumented.is_race_free(), "expected dynamic races");
+        assert!(
+            c.holds(),
+            "instrumented run still racy: {:?}",
+            c.instrumented.pairs
+        );
+        assert!(c.static_sound(), "RELAY missed dynamic pairs: {:?}", c.missed);
+        assert!(c.joined >= 1);
+        assert!((0.0..=1.0).contains(&c.false_positive_ratio));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Integration smoke tests for the `chimera` command-line binary: every
-//! subcommand (`races`, `plan`, `run`, `record`, `replay`, `ir`) exercised
-//! against the checked-in fixture, including the full file-based
-//! record → log file → replay workflow.
+//! subcommand (`races`, `plan`, `run`, `record`, `replay`, `ir`, `drd`)
+//! exercised against the checked-in fixture, including the full
+//! file-based record → log file → replay workflow.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -71,6 +71,33 @@ fn ir_subcommand_dumps_every_function() {
         assert!(stdout.contains(f), "ir dump missing function '{f}':\n{stdout}");
     }
     assert!(stdout.contains("bb0"), "ir dump has no basic blocks:\n{stdout}");
+}
+
+#[test]
+fn drd_subcommand_reports_dynamic_races() {
+    let out = bin().arg("drd").arg(fixture()).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("racy pair(s)"), "{stdout}");
+    assert!(stdout.contains("race ("), "no race line printed:\n{stdout}");
+    assert!(
+        !stdout.contains("data-race-free"),
+        "the racy fixture must not certify:\n{stdout}"
+    );
+}
+
+#[test]
+fn drd_instrumented_certifies_race_freedom() {
+    let out = bin()
+        .arg("drd")
+        .arg(fixture())
+        .arg("--instrumented")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("instrumented: 0 racy pair(s)"), "{stdout}");
+    assert!(stdout.contains("data-race-free"), "{stdout}");
 }
 
 #[test]

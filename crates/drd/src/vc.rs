@@ -1,0 +1,144 @@
+//! Epochs and vector clocks — the FastTrack time representation.
+//!
+//! An [`Epoch`] is one thread's scalar clock packed with its thread id
+//! into a single `u64`; it represents the common case where a variable's
+//! last write (or last read) is totally ordered with everything that came
+//! before it. A full [`VectorClock`] is only materialized where epochs
+//! cannot summarize the history: per-thread clocks, sync-object state, and
+//! read-shared variables.
+
+/// One thread's scalar clock at a point in time, packed as
+/// `(tid << 32) | clock`.
+///
+/// Thread clocks start at 1, so the all-zero value doubles as the "no
+/// access yet" sentinel ([`Epoch::NONE`]): its clock component 0 is
+/// happens-before everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// "No access recorded": clock 0, ordered before everything.
+    pub const NONE: Epoch = Epoch(0);
+
+    /// Pack `tid`'s clock `c`.
+    pub fn new(tid: u32, c: u32) -> Epoch {
+        Epoch(((tid as u64) << 32) | c as u64)
+    }
+
+    /// The thread component.
+    pub fn tid(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The clock component.
+    pub fn clock(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Is this the "no access yet" sentinel?
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.clock(), self.tid())
+    }
+}
+
+/// A dense vector clock, indexed by thread id. Missing entries are 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The empty clock (all components 0).
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// Component for thread `t` (0 if never set).
+    pub fn get(&self, t: u32) -> u32 {
+        self.c.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Set component `t` to `v`, growing as needed.
+    pub fn set(&mut self, t: u32, v: u32) {
+        let i = t as usize;
+        if self.c.len() <= i {
+            self.c.resize(i + 1, 0);
+        }
+        self.c[i] = v;
+    }
+
+    /// Pointwise maximum: `self ⊔= other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (a, &b) in self.c.iter_mut().zip(other.c.iter()) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Does `e` happen-before (or equal) this clock? (`e.clock ≤ self[e.tid]`.)
+    pub fn covers(&self, e: Epoch) -> bool {
+        e.clock() <= self.get(e.tid())
+    }
+
+    /// Iterate non-zero components as `(tid, clock)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.c
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(t, &v)| (t as u32, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_packing_round_trips() {
+        let e = Epoch::new(7, 123);
+        assert_eq!(e.tid(), 7);
+        assert_eq!(e.clock(), 123);
+        assert!(!e.is_none());
+        assert!(Epoch::NONE.is_none());
+        assert_eq!(e.to_string(), "123@7");
+    }
+
+    #[test]
+    fn covers_is_component_comparison() {
+        let mut v = VectorClock::new();
+        v.set(1, 5);
+        assert!(v.covers(Epoch::new(1, 5)));
+        assert!(v.covers(Epoch::new(1, 4)));
+        assert!(!v.covers(Epoch::new(1, 6)));
+        // Unknown threads have component 0.
+        assert!(!v.covers(Epoch::new(3, 1)));
+        // The sentinel is before everything, even the empty clock.
+        assert!(VectorClock::new().covers(Epoch::NONE));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 9);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 9);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 3), (1, 9), (2, 1)]);
+    }
+}

@@ -1,7 +1,7 @@
 //! Execution events and the supervisor interface that the record/replay
 //! layer (and the profiler) plug into.
 
-use chimera_minic::ir::{FuncId, LockGranularity, WeakLockId};
+use chimera_minic::ir::{AccessId, FuncId, LockGranularity, WeakLockId};
 
 /// Dense thread identifier, assigned in spawn order (main is thread 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -109,6 +109,51 @@ pub enum Event {
     },
     /// A thread ran to completion.
     Exited { thread: ThreadId, time: u64 },
+    /// A memory read committed. Only constructed when a supervisor's mask
+    /// asks for it (the dynamic race detector does); never part of the
+    /// collected trace, so the flat hot path and replay logs are
+    /// unaffected when no detector is attached.
+    Load {
+        thread: ThreadId,
+        /// Cell address that was read.
+        addr: i64,
+        /// Static provenance of the access site.
+        access: AccessId,
+        time: u64,
+    },
+    /// A memory write committed (same contract as [`Event::Load`]).
+    Store {
+        thread: ThreadId,
+        /// Cell address that was written.
+        addr: i64,
+        /// Static provenance of the access site.
+        access: AccessId,
+        time: u64,
+    },
+    /// A synchronization object was *released*: mutex unlock, the mutex
+    /// release inside `cond_wait`, the signaler's side of a condvar
+    /// wakeup, or a barrier arrival. The dual of [`Event::Sync`] (which
+    /// marks acquisitions): together they carry the happens-before edges a
+    /// vector-clock detector needs. Not recorded for replay — releases are
+    /// deterministic given the acquisition order.
+    SyncRelease {
+        thread: ThreadId,
+        kind: SyncKind,
+        /// The sync object's cell address.
+        addr: i64,
+        time: u64,
+    },
+    /// A thread resumed past a barrier it had been blocked on (consuming a
+    /// `barrier_pass`). The matching epoch release is the single
+    /// `Sync { kind: Barrier }` the last arriver emitted; this event marks
+    /// the acquire side for every waiter without polluting the recorded
+    /// sync order.
+    BarrierResume {
+        thread: ThreadId,
+        /// The barrier's cell address.
+        addr: i64,
+        time: u64,
+    },
 }
 
 /// The kind of an [`Event`] — one bit position in an [`EventMask`].
@@ -125,6 +170,10 @@ pub enum EventKind {
     Output,
     Spawned,
     Exited,
+    Load,
+    Store,
+    SyncRelease,
+    BarrierResume,
 }
 
 impl Event {
@@ -141,6 +190,10 @@ impl Event {
             Event::Output { .. } => EventKind::Output,
             Event::Spawned { .. } => EventKind::Spawned,
             Event::Exited { .. } => EventKind::Exited,
+            Event::Load { .. } => EventKind::Load,
+            Event::Store { .. } => EventKind::Store,
+            Event::SyncRelease { .. } => EventKind::SyncRelease,
+            Event::BarrierResume { .. } => EventKind::BarrierResume,
         }
     }
 }
@@ -312,6 +365,30 @@ mod tests {
             data: vec![3],
         };
         assert_eq!(ev.kind(), EventKind::Output);
+    }
+
+    #[test]
+    fn access_event_kinds_round_trip() {
+        let ev = Event::Load {
+            thread: ThreadId(1),
+            addr: 7,
+            access: AccessId(3),
+            time: 9,
+        };
+        assert_eq!(ev.kind(), EventKind::Load);
+        let ev = Event::SyncRelease {
+            thread: ThreadId(0),
+            kind: SyncKind::Mutex,
+            addr: 4,
+            time: 2,
+        };
+        assert_eq!(ev.kind(), EventKind::SyncRelease);
+        // ALL includes the detector-feed kinds; existing explicit masks
+        // (recorder, profiler) do not, so they never see them.
+        assert!(EventMask::ALL.contains(EventKind::Store));
+        assert!(EventMask::ALL.contains(EventKind::BarrierResume));
+        let rec = EventMask::of(&[EventKind::Sync, EventKind::Input]);
+        assert!(!rec.contains(EventKind::Load));
     }
 
     #[test]

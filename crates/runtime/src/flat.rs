@@ -28,8 +28,8 @@
 use crate::cost::CostModel;
 use chimera_minic::ast::{BinOp, UnOp};
 use chimera_minic::ir::{
-    AllocSiteId, BlockId, Callee, FuncId, GlobalId, Instr, LocalId, LockGranularity, Operand,
-    Program, Storage, Terminator, WeakLockId,
+    AccessId, AllocSiteId, BlockId, Callee, FuncId, GlobalId, Instr, LocalId, LockGranularity,
+    Operand, Program, Storage, Terminator, WeakLockId,
 };
 
 /// A range into [`FlatProgram::args`]: the interned argument operands of
@@ -66,8 +66,8 @@ pub enum FlatOp {
     AddrOfRegister { local: LocalId },
     AddrOfFunc { dst: LocalId, func: FuncId },
     PtrAdd { dst: LocalId, base: Operand, offset: Operand },
-    Load { dst: LocalId, addr: Operand },
-    Store { addr: Operand, val: Operand },
+    Load { dst: LocalId, addr: Operand, access: AccessId },
+    Store { addr: Operand, val: Operand, access: AccessId },
     CallDirect { dst: Option<LocalId>, func: FuncId, args: ArgRange },
     CallIndirect { dst: Option<LocalId>, target: Operand, args: ArgRange },
     Lock { addr: Operand },
@@ -296,13 +296,15 @@ fn decode_instr(
             base: *base,
             offset: *offset,
         },
-        Instr::Load { dst, addr, .. } => FlatOp::Load {
+        Instr::Load { dst, addr, access } => FlatOp::Load {
             dst: *dst,
             addr: *addr,
+            access: *access,
         },
-        Instr::Store { addr, val, .. } => FlatOp::Store {
+        Instr::Store { addr, val, access } => FlatOp::Store {
             addr: *addr,
             val: *val,
+            access: *access,
         },
         Instr::Call {
             dst,

@@ -444,6 +444,27 @@ impl<'p> Machine<'p> {
         self.config.collect_trace || self.mask.contains(k)
     }
 
+    /// Does the attached supervisor consume detector-feed events of kind
+    /// `k` (`Load`/`Store`/`SyncRelease`/`BarrierResume`)? Unlike
+    /// [`Machine::wants`], `collect_trace` does not force these on: they
+    /// exist to feed a happens-before detector, and keeping them out of
+    /// the trace preserves the byte-identical trace contract the
+    /// differential and replay suites pin.
+    #[inline]
+    fn wants_hb(&self, k: EventKind) -> bool {
+        self.mask.contains(k)
+    }
+
+    /// Deliver a detector-feed event. Never pushed into the collected
+    /// trace (see [`Machine::wants_hb`]); callers check `wants_hb` first
+    /// so the hot path pays one mask test and zero construction when no
+    /// detector is attached.
+    #[inline]
+    fn emit_hb(&mut self, sup: &mut dyn Supervisor, ev: Event) {
+        debug_assert!(self.mask.contains(ev.kind()));
+        sup.on_event(&ev);
+    }
+
     fn run(mut self, sup: &mut dyn Supervisor) -> ExecResult {
         self.mask = sup.event_mask();
         if self.config.collect_trace {
@@ -1090,25 +1111,49 @@ impl<'p> Machine<'p> {
                 frame.pc += 1;
                 self.commit_ok(tix, scost)
             }
-            FlatOp::Load { dst, addr } => {
+            FlatOp::Load { dst, addr, access } => {
                 let a = frame.get(addr);
                 match self.mem.load(a) {
                     Ok(v) => {
                         frame.regs[dst.index()] = v;
                         frame.pc += 1;
                         self.stats.mem_ops += 1;
+                        if self.wants_hb(EventKind::Load) {
+                            let time = self.threads[tix].clock;
+                            self.emit_hb(
+                                sup,
+                                Event::Load {
+                                    thread: tid,
+                                    addr: a,
+                                    access,
+                                    time,
+                                },
+                            );
+                        }
                         self.commit_ok(tix, scost)
                     }
                     Err(t) => self.trap(tid, t.to_string()),
                 }
             }
-            FlatOp::Store { addr, val } => {
+            FlatOp::Store { addr, val, access } => {
                 let a = frame.get(addr);
                 let v = frame.get(val);
                 match self.mem.store(a, v) {
                     Ok(()) => {
                         frame.pc += 1;
                         self.stats.mem_ops += 1;
+                        if self.wants_hb(EventKind::Store) {
+                            let time = self.threads[tix].clock;
+                            self.emit_hb(
+                                sup,
+                                Event::Store {
+                                    thread: tid,
+                                    addr: a,
+                                    access,
+                                    time,
+                                },
+                            );
+                        }
                         self.commit_ok(tix, scost)
                     }
                     Err(t) => self.trap(tid, t.to_string()),
@@ -1426,25 +1471,49 @@ impl<'p> Machine<'p> {
                 self.advance_pc(tid);
                 StepEnd::Commit(cost.instr)
             }
-            Instr::Load { dst, addr, .. } => {
+            Instr::Load { dst, addr, access } => {
                 let a = self.val(tid, *addr);
                 match self.mem.load(a) {
                     Ok(v) => {
                         self.set(tid, *dst, v);
                         self.stats.mem_ops += 1;
                         self.advance_pc(tid);
+                        if self.wants_hb(EventKind::Load) {
+                            let time = self.threads[tid.index()].clock;
+                            self.emit_hb(
+                                sup,
+                                Event::Load {
+                                    thread: tid,
+                                    addr: a,
+                                    access: *access,
+                                    time,
+                                },
+                            );
+                        }
                         StepEnd::Commit(cost.instr + cost.mem)
                     }
                     Err(t) => StepEnd::Trap(t.to_string()),
                 }
             }
-            Instr::Store { addr, val, .. } => {
+            Instr::Store { addr, val, access } => {
                 let a = self.val(tid, *addr);
                 let v = self.val(tid, *val);
                 match self.mem.store(a, v) {
                     Ok(()) => {
                         self.stats.mem_ops += 1;
                         self.advance_pc(tid);
+                        if self.wants_hb(EventKind::Store) {
+                            let time = self.threads[tid.index()].clock;
+                            self.emit_hb(
+                                sup,
+                                Event::Store {
+                                    thread: tid,
+                                    addr: a,
+                                    access: *access,
+                                    time,
+                                },
+                            );
+                        }
                         StepEnd::Commit(cost.instr + cost.mem)
                     }
                     Err(t) => StepEnd::Trap(t.to_string()),
@@ -2166,7 +2235,6 @@ impl<'p> Machine<'p> {
     }
 
     fn do_unlock(&mut self, sup: &mut dyn Supervisor, tid: ThreadId, addr: i64) -> StepEnd {
-        let _ = sup;
         let Some(m) = self.sync.mutexes.get_mut(addr) else {
             return StepEnd::Trap(format!("unlock of never-locked mutex@{addr}"));
         };
@@ -2176,6 +2244,17 @@ impl<'p> Machine<'p> {
         m.holder = None;
         let at = self.threads[tid.index()].clock;
         self.stats.sync_ops += 1;
+        if self.wants_hb(EventKind::SyncRelease) {
+            self.emit_hb(
+                sup,
+                Event::SyncRelease {
+                    thread: tid,
+                    kind: SyncKind::Mutex,
+                    addr,
+                    time: at,
+                },
+            );
+        }
         self.wake_mutex_waiters(addr, at);
         self.advance_pc(tid);
         StepEnd::Commit(self.cost.sync_op)
@@ -2185,6 +2264,10 @@ impl<'p> Machine<'p> {
         if self.threads[tid.index()].barrier_pass {
             self.threads[tid.index()].barrier_pass = false;
             self.advance_pc(tid);
+            if self.wants_hb(EventKind::BarrierResume) {
+                let time = self.threads[tid.index()].clock;
+                self.emit_hb(sup, Event::BarrierResume { thread: tid, addr, time });
+            }
             return StepEnd::Commit(self.cost.sync_op + self.log_cost_sync());
         }
         let Some(b) = self.sync.barriers.get_mut(addr) else {
@@ -2204,6 +2287,18 @@ impl<'p> Machine<'p> {
                 .max()
                 .unwrap_or(0);
             self.stats.sync_ops += 1;
+            if self.wants_hb(EventKind::SyncRelease) {
+                let time = self.threads[tid.index()].clock;
+                self.emit_hb(
+                    sup,
+                    Event::SyncRelease {
+                        thread: tid,
+                        kind: SyncKind::Barrier,
+                        addr,
+                        time,
+                    },
+                );
+            }
             self.emit(
                 sup,
                 Event::Sync {
@@ -2227,6 +2322,20 @@ impl<'p> Machine<'p> {
             // own barrier_pass flag (uniform exit path for all threads).
             StepEnd::Commit(0)
         } else {
+            // A non-final arrival still releases into the barrier: the
+            // threads resuming past this epoch are ordered after it.
+            if self.wants_hb(EventKind::SyncRelease) {
+                let time = self.threads[tid.index()].clock;
+                self.emit_hb(
+                    sup,
+                    Event::SyncRelease {
+                        thread: tid,
+                        kind: SyncKind::Barrier,
+                        addr,
+                        time,
+                    },
+                );
+            }
             StepEnd::Block(BlockReason::Barrier(addr))
         }
     }
@@ -2280,6 +2389,17 @@ impl<'p> Machine<'p> {
             m.holder = None;
             let at = self.threads[tix].clock;
             self.stats.sync_ops += 1;
+            if self.wants_hb(EventKind::SyncRelease) {
+                self.emit_hb(
+                    sup,
+                    Event::SyncRelease {
+                        thread: tid,
+                        kind: SyncKind::Mutex,
+                        addr: lock_addr,
+                        time: at,
+                    },
+                );
+            }
             self.wake_mutex_waiters(lock_addr, at);
             self.sync.conds.ensure(cond_addr).waiters.push(tid);
             StepEnd::Block(BlockReason::Cond(cond_addr))
@@ -2310,6 +2430,19 @@ impl<'p> Machine<'p> {
             self.stats.sync_ops += 1;
             self.threads[w.index()].cond_phase = 2;
             self.wake_thread(w, now, WaitKind::Sync);
+            // The signaler's release into the cond object must reach the
+            // detector before the waiter's acquire (the Sync below).
+            if self.wants_hb(EventKind::SyncRelease) {
+                self.emit_hb(
+                    sup,
+                    Event::SyncRelease {
+                        thread: tid,
+                        kind: SyncKind::Cond,
+                        addr,
+                        time: now,
+                    },
+                );
+            }
             self.emit(
                 sup,
                 Event::Sync {

@@ -1,0 +1,206 @@
+//! DRF-equivalence certification: the end-to-end property the Chimera
+//! pipeline promises (paper §2): after weak-lock instrumentation the
+//! program is data-race-free, so recording sync + weak-lock order is
+//! enough for deterministic replay.
+//!
+//! Three angles:
+//!
+//! 1. The nine paper workloads certify race-free when instrumented, and
+//!    every dynamically observed race maps to a static relay pair
+//!    (soundness join). The workloads are *deliberately* dynamically DRF
+//!    — their static race reports are the paper's false positives (water
+//!    barrier phases, apache's memset loop, pfscan's condvar handoff) —
+//!    so the logged FP ratio is the paper's precision story, and the
+//!    dynamic detector reporting zero races on them is itself evidence.
+//! 2. A corpus of genuinely racy programs: each reports ≥1 dynamic race
+//!    uninstrumented and 0 races fully instrumented, across seeds.
+//! 3. A `chimera-testkit` generative sweep over racy counter programs
+//!    (threads, iteration counts, seeds drawn by the prop harness):
+//!    every sampled schedule races uninstrumented and certifies clean
+//!    instrumented.
+
+use chimera::{analyze, certify_drf, PipelineConfig};
+use chimera_minic::compile;
+use chimera_runtime::ExecConfig;
+use chimera_testkit::prop::{self, Config, Gen};
+use chimera_workloads::all;
+
+const SEEDS: &[u64] = &[1, 42, 99];
+
+/// Every paper workload: instrumented runs certify race-free on all
+/// seeds, and the dynamic ⊆ static join holds (no dynamic race escapes
+/// the static detector). The per-workload FP ratio — the fraction of
+/// static pairs never observed dynamically — is logged for comparison
+/// with the paper's precision discussion.
+#[test]
+fn workloads_certify_drf_equivalence() {
+    for w in all() {
+        let p = w.compile(&w.profile_params(0)).expect("workload compiles");
+        let a = analyze(&p, &PipelineConfig::default());
+        let c = certify_drf(&a, &ExecConfig::default(), SEEDS);
+        eprintln!(
+            "{:8} static={:3} dynamic={:3} joined={:3} fp-ratio={:.2}",
+            w.name,
+            a.races.pairs.len(),
+            c.uninstrumented.pairs.len(),
+            c.joined,
+            c.false_positive_ratio,
+        );
+        assert!(
+            c.holds(),
+            "{}: instrumented run raced ({} pair(s))",
+            w.name,
+            c.instrumented.pairs.len()
+        );
+        assert!(
+            c.static_sound(),
+            "{}: dynamic race escaped the static detector: {:?}",
+            w.name,
+            c.missed
+        );
+        assert!(
+            !a.races.pairs.is_empty(),
+            "{}: static detector found nothing to certify against",
+            w.name
+        );
+    }
+}
+
+/// Genuinely racy programs (unsynchronized counter, unlocked array
+/// scatter, missing barrier): all race uninstrumented and certify clean
+/// once weak-lock instrumented, across all seeds.
+#[test]
+fn racy_programs_race_uninstrumented_and_certify_instrumented() {
+    let corpus: &[(&str, &str)] = &[
+        (
+            "counter",
+            "int g;
+             void w(int v) { int i; int x;
+                 for (i = 0; i < 120; i = i + 1) { x = g; g = x + v; } }
+             int main() { int t; t = spawn(w, 1); w(2); join(t);
+                 print(g); return 0; }",
+        ),
+        (
+            "scatter",
+            "int arr[16]; int sum;
+             void w(int v) { int i;
+                 for (i = 0; i < 64; i = i + 1) {
+                     arr[i & 15] = arr[i & 15] + v;
+                 } }
+             int main() { int a; int b; int i;
+                 a = spawn(w, 1); b = spawn(w, 3);
+                 join(a); join(b);
+                 for (i = 0; i < 16; i = i + 1) { sum = sum + arr[i]; }
+                 print(sum); return 0; }",
+        ),
+        (
+            "missing-barrier",
+            "int buf[8]; int out;
+             void producer(int v) { int i;
+                 for (i = 0; i < 8; i = i + 1) { buf[i] = v + i; } }
+             void consumer(int v) { int i;
+                 for (i = 0; i < 8; i = i + 1) { out = out + buf[i]; } }
+             int main() { int p; int c;
+                 p = spawn(producer, 10); c = spawn(consumer, 0);
+                 join(p); join(c); print(out); return 0; }",
+        ),
+    ];
+    for (name, src) in corpus {
+        let p = compile(src).expect("corpus program compiles");
+        let a = analyze(&p, &PipelineConfig::default());
+        assert!(
+            a.instrumented.weak_locks > 0,
+            "{name}: expected weak-lock instrumentation"
+        );
+        let c = certify_drf(&a, &ExecConfig::default(), SEEDS);
+        assert!(
+            !c.uninstrumented.is_race_free(),
+            "{name}: uninstrumented run should race"
+        );
+        assert!(
+            c.holds(),
+            "{name}: instrumented run raced ({} pair(s))",
+            c.instrumented.pairs.len()
+        );
+        assert!(
+            c.static_sound(),
+            "{name}: dynamic race escaped the static detector: {:?}",
+            c.missed
+        );
+        eprintln!(
+            "{name:16} dynamic={} races={} fp-ratio={:.2}",
+            c.uninstrumented.pairs.len(),
+            c.uninstrumented.races,
+            c.false_positive_ratio,
+        );
+    }
+}
+
+/// One generated racy-counter configuration: worker count, per-thread
+/// iteration count, and execution seed (the schedule) all drawn by the
+/// prop harness.
+#[derive(Debug, Clone)]
+struct RacyCase {
+    threads: u8,
+    reps: u8,
+    seed: u64,
+}
+
+fn racy_case_gen() -> Gen<RacyCase> {
+    Gen::new(|s| RacyCase {
+        threads: s.int(1u8..=3),
+        reps: s.int(40u8..=120),
+        seed: s.int(0u64..10_000),
+    })
+}
+
+fn render_racy(case: &RacyCase) -> String {
+    let decls: String = (0..case.threads).map(|i| format!("    int t{i};\n")).collect();
+    let spawns: String = (0..case.threads)
+        .map(|i| format!("    t{i} = spawn(w, {});\n", i + 1))
+        .collect();
+    let joins: String = (0..case.threads)
+        .map(|i| format!("    join(t{i});\n"))
+        .collect();
+    format!(
+        "int g;
+         void w(int v) {{ int i; int x;
+             for (i = 0; i < {reps}; i = i + 1) {{ x = g; g = x + v; }} }}
+         int main() {{\n{decls}{spawns}    w(9);\n{joins}    print(g); return 0; }}",
+        reps = case.reps,
+    )
+}
+
+/// Generative sweep: every sampled racy counter races uninstrumented
+/// (main races with at least one spawned worker on every schedule —
+/// the loop bodies are long enough to always overlap) and certifies
+/// race-free instrumented, with no dynamic race outside the static
+/// report.
+#[test]
+fn generated_racy_programs_certify_across_schedules() {
+    prop::check_config(
+        &Config::from_env().with_cases(16),
+        "generated_racy_programs_certify_across_schedules",
+        &racy_case_gen(),
+        |case| {
+            let p = compile(&render_racy(case)).expect("generated source is valid MiniC");
+            let a = analyze(&p, &PipelineConfig::default());
+            let c = certify_drf(&a, &ExecConfig::default(), &[case.seed]);
+            chimera_testkit::prop_assert!(
+                !c.uninstrumented.is_race_free(),
+                "no dynamic race uninstrumented for {case:?}"
+            );
+            chimera_testkit::prop_assert!(
+                c.holds(),
+                "instrumented run raced for {case:?}: {} pair(s)",
+                c.instrumented.pairs.len()
+            );
+            chimera_testkit::prop_assert!(
+                c.static_sound(),
+                "dynamic race escaped the static detector for {case:?}: {:?}",
+                c.missed
+            );
+            Ok(())
+        },
+    );
+}

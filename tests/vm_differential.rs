@@ -180,6 +180,49 @@ fn null_supervisor_masking_is_invisible() {
     assert_identical(&plain_flat, &refr, "null-supervised racy program");
 }
 
+/// The race-detector feed (per-access `Load`/`Store` events plus the HB
+/// release edges) must be invisible when masked off *and* when attached:
+/// with no subscriber the flat loop pays nothing and both modes stay
+/// byte-identical, and attaching the detector changes neither execution
+/// nor the recorded trace — `emit_hb` delivers to the supervisor only,
+/// never into the trace buffer.
+#[test]
+fn detector_feed_masked_off_and_attached_leave_modes_identical() {
+    let p = compile(RACY).unwrap();
+    let cfg = ExecConfig {
+        seed: 13,
+        collect_trace: true,
+        count_blocks: true,
+        ..ExecConfig::default()
+    };
+    // Detached (default mask: no access-event subscriber).
+    let flat = execute_mode(&p, &cfg, InterpMode::Flat);
+    let refr = execute_mode(&p, &cfg, InterpMode::Reference);
+    assert_identical(&flat, &refr, "access events masked off");
+
+    // Attached: the detector subscribes to the full feed in both modes.
+    let att_flat = chimera_drd::detect_mode(&p, &cfg, InterpMode::Flat);
+    let att_refr = chimera_drd::detect_mode(&p, &cfg, InterpMode::Reference);
+    assert_identical(
+        &att_flat.result,
+        &att_refr.result,
+        "detector attached, flat vs reference",
+    );
+    assert_identical(
+        &flat,
+        &att_flat.result,
+        "detector attached vs detached (feed must not perturb the trace)",
+    );
+    assert!(
+        !att_flat.report.is_race_free(),
+        "the racy program must race under the detector"
+    );
+    assert_eq!(
+        att_flat.report.pairs, att_refr.report.pairs,
+        "both modes must observe the same racy pairs"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Generative sweep
 // ---------------------------------------------------------------------------
