@@ -30,6 +30,22 @@ echo "== DRF-equivalence certification =="
 # explicitly so a failure is unmissable.
 cargo test -q --offline --test drf_equivalence
 
+echo "== schedule exploration (adversarial schedulers) =="
+# Nine workloads certify replay under PCT + preemption-bounded hostile
+# schedules, the racy corpus diverges under the same sweep, and both
+# interpreters stay bit-identical per (strategy, seed) (DESIGN.md §11).
+# Runs in the suite above too; invoked explicitly so a failure is
+# unmissable.
+cargo test -q --offline --test schedule_exploration
+
+echo "== explore smoke (CLI sweep on checked-in fixture) =="
+# One-sample end-to-end run of the CLI: instrument a checked-in racy
+# program and certify its replay under every strategy — zero
+# divergences, zero single-holder violations (EXPERIMENTS.md). The
+# uninstrumented-must-diverge side is pinned by schedule_exploration.
+cargo run -q --release --offline -p chimera --bin chimera -- \
+    explore fixtures/racy_counter.mc --seeds 1 --drd
+
 echo "== clippy (deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -52,6 +68,12 @@ echo "== race-detector overhead smoke (1 sample) =="
 # BENCH_drd.json is refreshed manually (see EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench drd_overhead
+
+echo "== scheduler-seam overhead smoke (1 sample) =="
+# Proves every strategy still runs the bench workloads to clean exit;
+# committed BENCH_sched.json is refreshed manually (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench sched_explore
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

@@ -8,15 +8,25 @@
 //! chimera replay <file.mc> <log> [--seed N]    # replay from a log file
 //! chimera ir <file.mc>                         # dump the IR
 //! chimera drd <file.mc> [--instrumented]       # dynamic race report
+//! chimera explore [file.mc] [--strategy S] [--seeds N] [--drd] [-o r.json]
+//!                                              # adversarial-schedule sweep
 //! ```
 //!
 //! `record` and `replay` must agree on the file and options so the
 //! instrumented programs match; the log's byte format is
 //! [`chimera_replay::ReplayLogs::to_bytes`].
+//!
+//! `explore` sweeps the instrumented program across scheduling strategies
+//! (`jitter`, `pct`, `preempt-bound`, or `all`) × `--seeds` record seeds,
+//! replaying each recording under a different seed of the same hostile
+//! strategy; without a file it sweeps all nine paper workloads. It exits
+//! nonzero if any replay diverges or the weak-lock single-holder
+//! invariant is ever violated, and writes a JSON schedule-coverage report
+//! with `-o`.
 
-use chimera::{analyze, OptSet, PipelineConfig};
+use chimera::{analyze, ExploreConfig, OptSet, PipelineConfig};
 use chimera_minic::compile;
-use chimera_runtime::{execute, ExecConfig, ThreadId};
+use chimera_runtime::{execute, ExecConfig, SchedStrategy, ThreadId};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,13 +48,16 @@ struct Cli {
     naive: bool,
     opt: bool,
     instrumented: bool,
+    strategy: String,
+    seeds: u64,
+    drd: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         return Err(
-            "usage: chimera <races|plan|run|record|replay|ir|drd> <file.mc> [...]".into(),
+            "usage: chimera <races|plan|run|record|replay|ir|drd|explore> <file.mc> [...]".into(),
         );
     }
     let mut cli = Cli {
@@ -56,6 +69,9 @@ fn parse_cli() -> Result<Cli, String> {
         naive: false,
         opt: false,
         instrumented: false,
+        strategy: "all".to_string(),
+        seeds: 3,
+        drd: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -83,6 +99,24 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.instrumented = true;
                 i += 1;
             }
+            "--strategy" => {
+                cli.strategy = argv
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--strategy needs jitter|pct|preempt-bound|all")?;
+                i += 2;
+            }
+            "--seeds" => {
+                cli.seeds = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seeds needs a number")?;
+                i += 2;
+            }
+            "--drd" => {
+                cli.drd = true;
+                i += 1;
+            }
             arg => {
                 if cli.file.is_none() {
                     cli.file = Some(arg.to_string());
@@ -100,6 +134,9 @@ fn parse_cli() -> Result<Cli, String> {
 
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
+    if cli.command == "explore" {
+        return run_explore(&cli);
+    }
     let path = cli.file.clone().ok_or("missing <file.mc> argument")?;
     let source =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -237,9 +274,105 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (races|plan|run|record|replay|ir|drd)"
+            "unknown command '{other}' (races|plan|run|record|replay|ir|drd|explore)"
         )),
     }
+}
+
+/// `chimera explore`: sweep one file (or all nine workloads) across
+/// adversarial scheduling strategies and certify replay under each.
+fn run_explore(cli: &Cli) -> Result<(), String> {
+    let strategies = match cli.strategy.as_str() {
+        "all" => vec![
+            SchedStrategy::ClockJitter,
+            SchedStrategy::pct(3),
+            SchedStrategy::preempt_bound(),
+        ],
+        name => vec![SchedStrategy::parse(name)
+            .ok_or_else(|| format!("unknown strategy '{name}' (jitter|pct|preempt-bound|all)"))?],
+    };
+    let cfg = ExploreConfig {
+        strategies,
+        seeds: (1..=cli.seeds.max(1)).collect(),
+        exec: ExecConfig {
+            seed: cli.seed,
+            ..ExecConfig::default()
+        },
+        check_drd: cli.drd,
+    };
+    let opts = if cli.naive {
+        OptSet::naive()
+    } else {
+        OptSet::all()
+    };
+    let pipeline = PipelineConfig {
+        opts,
+        ..PipelineConfig::default()
+    };
+
+    let mut targets: Vec<(String, chimera_minic::ir::Program)> = Vec::new();
+    if let Some(path) = &cli.file {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = compile(&source).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        targets.push((name, program));
+    } else {
+        for w in chimera::workloads::all() {
+            let p = w
+                .compile(&w.profile_params(0))
+                .map_err(|e| format!("{}: {e}", w.name))?;
+            targets.push((w.name.to_string(), p));
+        }
+    }
+
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for (name, program) in &targets {
+        let analysis = analyze(program, &pipeline);
+        let report = chimera::explore(name, &analysis, &cfg);
+        for st in &report.strategies {
+            println!(
+                "{name:>8} {:>13}: {} seed(s), {} divergence(s), {} violation(s), \
+                 {} distinct order(s) ({} prefix(es)), {} preemption(s)",
+                st.strategy,
+                st.outcomes.len(),
+                st.divergences,
+                st.violations,
+                st.distinct_orders,
+                st.distinct_prefixes,
+                st.preemptions,
+            );
+        }
+        failed |= !report.clean();
+        reports.push(report);
+    }
+
+    if let Some(out) = &cli.out {
+        let mut json = String::from("[\n");
+        for (i, r) in reports.iter().enumerate() {
+            json.push_str(&r.to_json());
+            if i + 1 < reports.len() {
+                let end = json.trim_end_matches('\n').len();
+                json.truncate(end);
+                json.push_str(",\n");
+            }
+        }
+        json.push_str("]\n");
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    if failed {
+        return Err("schedule exploration found divergences or invariant violations".into());
+    }
+    println!(
+        "explored {} program(s): all replays equivalent, single-holder invariant held",
+        reports.len()
+    );
+    Ok(())
 }
 
 fn report_exec(r: &chimera_runtime::ExecResult) {

@@ -52,8 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod explore;
 pub mod pipeline;
 
+pub use explore::{
+    explore, explore_uninstrumented, ExploreConfig, ExploreReport, ScheduleObserver, SeedOutcome,
+    StrategyReport,
+};
 pub use experiment::{
     ablation_row, analyze_workload, fig5_overheads, fig6_fractions, fig7_breakdown,
     fig8_scalability, figure5_configs, profile_sensitivity, profile_workload, table2_row,

@@ -424,8 +424,8 @@ mod tests {
         assert_eq!(logs.weak_entries(LockGranularity::BasicBlock), 0);
     }
 
-    #[test]
-    fn serialization_round_trips() {
+    /// A log exercising every section of the format.
+    fn rich_logs() -> ReplayLogs {
         let mut logs = ReplayLogs::default();
         logs.inputs.insert((0, 0), vec![5, -3, 1 << 40]);
         logs.inputs.insert((2, 7), vec![]);
@@ -438,9 +438,70 @@ mod tests {
         logs.forced.push((1, 999, true, WeakLockId(5)));
         logs.sync_log_entries = 17;
         logs.input_log_entries = 3;
+        logs
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let logs = rich_logs();
         let bytes = logs.to_bytes();
         let back = ReplayLogs::from_bytes(&bytes).expect("round trip");
         assert_eq!(back, logs);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_log_errors() {
+        // The parser consumes fields strictly sequentially and a valid
+        // buffer parses to exactly its last byte, so *every* proper prefix
+        // must run out mid-field and report truncation — never panic, and
+        // never accept a half-log silently.
+        let bytes = rich_logs().to_bytes();
+        for len in 0..bytes.len() {
+            let r = ReplayLogs::from_bytes(&bytes[..len]);
+            assert!(
+                r.is_err(),
+                "prefix of {len}/{} bytes parsed Ok",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_section_lengths_error_not_panic() {
+        let header = |b: &mut Vec<u8>| {
+            b.extend_from_slice(b"CHIM");
+            push_varint(b, 1);
+        };
+        // Absurd input-record count: must fail on the missing records, not
+        // try to allocate for them.
+        let mut b = Vec::new();
+        header(&mut b);
+        push_varint(&mut b, u64::MAX);
+        assert!(ReplayLogs::from_bytes(&b).is_err());
+        // Absurd payload length inside one otherwise-valid input record.
+        let mut b = Vec::new();
+        header(&mut b);
+        push_varint(&mut b, 1); // one input record
+        push_varint(&mut b, 0); // thread
+        push_varint(&mut b, 0); // seq
+        push_varint(&mut b, u64::MAX); // payload length
+        assert!(ReplayLogs::from_bytes(&b).is_err());
+        // Unknown weak-lock granularity code.
+        let mut b = Vec::new();
+        header(&mut b);
+        for _ in 0..5 {
+            push_varint(&mut b, 0); // empty inputs/mutex/cond/spawn/output
+        }
+        push_varint(&mut b, 1); // one weak-lock stream
+        push_varint(&mut b, 0); // lock id
+        push_varint(&mut b, 9); // bogus granularity
+        let err = ReplayLogs::from_bytes(&b).unwrap_err();
+        assert!(err.contains("granularity"), "{err}");
+        // A varint that never terminates within 64 bits.
+        let mut b = b"CHIM".to_vec();
+        b.extend([0xff; 10]);
+        let err = ReplayLogs::from_bytes(&b).unwrap_err();
+        assert!(err.contains("varint overflow"), "{err}");
     }
 
     #[test]
@@ -536,6 +597,41 @@ mod tests {
             let gen = prop::vec_of(prop::any_u8(), 0..256);
             prop::check("from_bytes_never_panics", &gen, |bytes| {
                 let _ = ReplayLogs::from_bytes(bytes);
+                Ok(())
+            });
+        }
+
+        /// Structured corruption: start from a *valid* encoding of an
+        /// arbitrary log, then flip a few bytes and possibly truncate.
+        /// This drives the parser deep into real sections (random soup
+        /// almost always dies at the magic), where it must still either
+        /// error cleanly or produce a log that re-serializes.
+        #[test]
+        fn corrupted_valid_encodings_never_panic() {
+            let gen = arb_logs().flat_map(|logs| {
+                let bytes = logs.to_bytes();
+                Gen::new(move |s| {
+                    let mut b = bytes.clone();
+                    let flips = s.int(1usize..5);
+                    for _ in 0..flips {
+                        let i = s.int(0usize..b.len());
+                        b[i] = s.int(0u32..256) as u8;
+                    }
+                    if s.bool() {
+                        let keep = s.int(0usize..b.len() + 1);
+                        b.truncate(keep);
+                    }
+                    b
+                })
+            });
+            prop::check("corrupted_valid_encodings_never_panic", &gen, |bytes| {
+                if let Ok(parsed) = ReplayLogs::from_bytes(bytes) {
+                    // Corruption may still decode (e.g. a flipped thread
+                    // id); whatever comes back must round-trip its own
+                    // re-encoding.
+                    let again = ReplayLogs::from_bytes(&parsed.to_bytes()).expect("re-encode");
+                    prop_assert_eq!(&again, &parsed);
+                }
                 Ok(())
             });
         }

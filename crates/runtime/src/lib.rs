@@ -35,6 +35,8 @@ mod flat;
 pub mod machine;
 pub mod memory;
 pub mod parallel;
+pub mod probe;
+pub mod sched;
 pub mod stats;
 pub mod sync;
 pub mod world;
@@ -48,6 +50,8 @@ pub use machine::{
     execute, execute_mode, execute_supervised, execute_supervised_mode, ExecConfig, ExecResult,
     InterpMode, Outcome,
 };
+pub use probe::SingleHolderProbe;
+pub use sched::{SchedStrategy, Scheduler};
 pub use memory::{Memory, RegionKind};
 pub use stats::ExecStats;
 pub use world::{IoModel, World};

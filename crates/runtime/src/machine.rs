@@ -32,6 +32,7 @@ use crate::event::{
 };
 use crate::flat::{flatten, static_costs, ArgRange, FlatOp, FlatProgram};
 use crate::memory::{Memory, RegionKind};
+use crate::sched::SchedStrategy;
 use crate::stats::ExecStats;
 use crate::sync::{BlockReason, SyncTables, WeakHolder};
 use crate::world::{IoModel, World};
@@ -81,6 +82,11 @@ pub struct ExecConfig {
     /// Count basic-block executions (used by the profiler for loop-body
     /// size estimates, paper §5.3).
     pub count_blocks: bool,
+    /// Scheduling strategy (the schedule-exploration seam, see
+    /// [`crate::sched`]). The clock-ordered default keeps the flat hot
+    /// loop's burst/ready-queue fast path; adversarial strategies run
+    /// both interpreter modes through one shared per-step loop.
+    pub sched: SchedStrategy,
 }
 
 impl Default for ExecConfig {
@@ -99,6 +105,7 @@ impl Default for ExecConfig {
             weak_always_succeed: false,
             collect_trace: false,
             count_blocks: false,
+            sched: SchedStrategy::ClockJitter,
         }
     }
 }
@@ -470,10 +477,107 @@ impl<'p> Machine<'p> {
         if self.config.collect_trace {
             self.trace.reserve(1024);
         }
+        // Non-baseline strategies drive both modes through one shared
+        // per-step loop, so a (strategy, seed) pair is bit-identical
+        // across interpreters by construction.
+        if self.config.sched != SchedStrategy::ClockJitter {
+            return self.run_strategy(sup);
+        }
         match self.mode {
             InterpMode::Reference => self.run_reference(sup),
             InterpMode::Flat => self.run_flat(sup),
         }
+    }
+
+    /// The strategy scheduling loop (see [`crate::sched`]): per step the
+    /// pluggable scheduler picks among ready threads, the mode-specific
+    /// stepper executes one op, and the scheduler observes the retired
+    /// step (with a boundary classification read from the pre-decoded
+    /// code, which both modes share). Everything else — injected
+    /// releases, timeout scans, deadlock resolution — mirrors
+    /// [`Machine::run_reference`] exactly.
+    ///
+    /// Strategies draw from their own salted RNG stream, so the jitter
+    /// draws in [`Machine::commit_ok`] are untouched; the only difference
+    /// from the baseline loops is *which* ready thread runs.
+    fn run_strategy(mut self, sup: &mut dyn Supervisor) -> ExecResult {
+        let injects = sup.injects_forced_releases();
+        let mut sched = self.config.sched.build(self.config.seed);
+        let wants_boundaries = sched.wants_boundaries();
+        let outcome = loop {
+            if let Some(outcome) = self.finished.take() {
+                break outcome;
+            }
+            if injects {
+                self.apply_injected_releases(sup);
+            }
+            sched.track_threads(self.threads.len());
+            let chosen = {
+                let mut ready = self
+                    .threads
+                    .iter()
+                    .filter(|t| t.state == TState::Ready)
+                    .map(|t| (t.id.0, t.clock));
+                sched.pick(&mut ready)
+            };
+            let Some(tid0) = chosen else {
+                if self.threads.iter().all(|t| t.state == TState::Done) {
+                    break Outcome::Exited(self.main_ret);
+                }
+                if self.config.timeout_enabled && self.try_force_any(sup) {
+                    continue;
+                }
+                break Outcome::Deadlock {
+                    blocked: self.blocked_summary(),
+                };
+            };
+            let tid = ThreadId(tid0);
+
+            if self.config.timeout_enabled {
+                let now = self.threads[tid.index()].clock;
+                if self.try_force_timed_out(sup, now) {
+                    continue;
+                }
+            }
+
+            let boundary = wants_boundaries && self.at_boundary(tid);
+            match self.mode {
+                InterpMode::Flat => {
+                    self.step_flat(sup, tid);
+                }
+                InterpMode::Reference => self.step_reference(sup, tid),
+            }
+            self.steps += 1;
+            if self.steps > self.config.max_steps {
+                break Outcome::StepLimit;
+            }
+            sched.note_step(tid.0, self.steps, boundary);
+        };
+        self.stats.sched_preemptions = sched.preemptions();
+        self.finish(outcome)
+    }
+
+    /// Does `tid`'s next op sit at a weak-lock acquire/release site or a
+    /// shared-access site (`Load`/`Store`, which carry their static
+    /// `AccessId`)? Classified from the pre-decoded code both interpreter
+    /// modes share, so it is mode-independent; a pending forced
+    /// reacquire counts as an acquire boundary (the step will execute the
+    /// reacquire protocol instead of the op at `pc`).
+    fn at_boundary(&self, tid: ThreadId) -> bool {
+        let t = &self.threads[tid.index()];
+        if !t.pending_reacquire.is_empty() {
+            return true;
+        }
+        let Some(frame) = t.frames.last() else {
+            return false;
+        };
+        matches!(
+            self.flat.funcs[frame.func.index()].code[frame.pc as usize],
+            FlatOp::Load { .. }
+                | FlatOp::Store { .. }
+                | FlatOp::WeakAcquire { .. }
+                | FlatOp::WeakRelease { .. }
+        )
     }
 
     /// The original scheduling loop: per step, poll every thread for
@@ -671,8 +775,12 @@ impl<'p> Machine<'p> {
     }
 
     fn finish_deadlock(self) -> ExecResult {
-        let blocked = self
-            .threads
+        let blocked = self.blocked_summary();
+        self.finish(Outcome::Deadlock { blocked })
+    }
+
+    fn blocked_summary(&self) -> Vec<(ThreadId, String)> {
+        self.threads
             .iter()
             .filter(|t| t.state != TState::Done)
             .map(|t| {
@@ -682,8 +790,7 @@ impl<'p> Machine<'p> {
                 };
                 (t.id, why)
             })
-            .collect();
-        self.finish(Outcome::Deadlock { blocked })
+            .collect()
     }
 
     fn finish(mut self, outcome: Outcome) -> ExecResult {
@@ -2992,15 +3099,21 @@ mod tests {
     /// of this check lives in `tests/vm_differential.rs`; this one keeps
     /// the invariant enforced from inside the crate.
     fn assert_modes_agree(src: &str, seed: u64) {
+        assert_modes_agree_cfg(
+            src,
+            &ExecConfig {
+                seed,
+                collect_trace: true,
+                count_blocks: true,
+                ..ExecConfig::default()
+            },
+        );
+    }
+
+    fn assert_modes_agree_cfg(src: &str, cfg: &ExecConfig) {
         let p = compile(src).unwrap();
-        let cfg = ExecConfig {
-            seed,
-            collect_trace: true,
-            count_blocks: true,
-            ..ExecConfig::default()
-        };
-        let flat = execute_mode(&p, &cfg, InterpMode::Flat);
-        let refr = execute_mode(&p, &cfg, InterpMode::Reference);
+        let flat = execute_mode(&p, cfg, InterpMode::Flat);
+        let refr = execute_mode(&p, cfg, InterpMode::Reference);
         assert_eq!(flat.outcome, refr.outcome);
         assert_eq!(flat.output, refr.output);
         assert_eq!(flat.state_hash, refr.state_hash);
@@ -3043,6 +3156,146 @@ mod tests {
                 join(t); return 0; }";
         for seed in [1, 13] {
             assert_modes_agree(src, seed);
+        }
+    }
+
+    /// An uninstrumented racy accumulator: the final `g` depends entirely
+    /// on how the scheduler interleaves the read-modify-write windows, so
+    /// it makes schedule differences observable through output alone.
+    const RACY_COUNTER: &str = "int g;
+         void w(int v) { int i; int x;
+            for (i = 0; i < 60; i = i + 1) { x = g; g = x + v; } }
+         int main() { int t; t = spawn(w, 1); w(2); join(t);
+            print(g); return 0; }";
+
+    fn sched_cfg(sched: SchedStrategy, seed: u64) -> ExecConfig {
+        ExecConfig {
+            seed,
+            sched,
+            collect_trace: true,
+            count_blocks: true,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn adversarial_strategies_keep_modes_bit_identical() {
+        let contended = "int g; lock_t m;
+             void w(int n) { int i; for (i = 0; i < 50; i = i + 1) {
+                lock(&m); g = g + n; unlock(&m); } }
+             int main() { int t1; int t2;
+                t1 = spawn(w, 1); t2 = spawn(w, 2); w(3);
+                join(t1); join(t2); print(g); return 0; }";
+        for sched in [
+            SchedStrategy::Pct {
+                depth: 3,
+                span: 2_000,
+            },
+            SchedStrategy::PreemptBound {
+                budget: 256,
+                period: 1,
+            },
+        ] {
+            for seed in [0, 7, 99] {
+                assert_modes_agree_cfg(contended, &sched_cfg(sched, seed));
+                assert_modes_agree_cfg(RACY_COUNTER, &sched_cfg(sched, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn pct_is_deterministic_per_seed_and_explores_across_seeds() {
+        let p = compile(RACY_COUNTER).unwrap();
+        let sched = SchedStrategy::Pct {
+            depth: 3,
+            span: 2_000,
+        };
+        let mut hashes = std::collections::BTreeSet::new();
+        for seed in 0..8 {
+            let cfg = sched_cfg(sched, seed);
+            let a = execute(&p, &cfg);
+            let b = execute(&p, &cfg);
+            assert!(a.outcome.is_exit(), "{:?}", a.outcome);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.state_hash, b.state_hash);
+            hashes.insert(a.state_hash);
+        }
+        assert!(
+            hashes.len() > 1,
+            "PCT produced one schedule across 8 seeds — change points never fired"
+        );
+    }
+
+    #[test]
+    fn preempt_bound_injects_preemptions_deterministically() {
+        let p = compile(RACY_COUNTER).unwrap();
+        let cfg = sched_cfg(
+            SchedStrategy::PreemptBound {
+                budget: 4_096,
+                period: 1,
+            },
+            5,
+        );
+        let a = execute(&p, &cfg);
+        let b = execute(&p, &cfg);
+        assert!(a.outcome.is_exit(), "{:?}", a.outcome);
+        assert!(a.stats.sched_preemptions > 0);
+        assert_eq!(a.stats.sched_preemptions, b.stats.sched_preemptions);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.state_hash, b.state_hash);
+        // Forcing a switch inside every read-modify-write window must lose
+        // updates: the serial total (60*1 + 60*2 = 180) is unreachable.
+        assert_ne!(a.output_of(ThreadId(0)), vec![180]);
+    }
+
+    #[test]
+    fn baseline_strategy_reports_no_preemptions() {
+        let p = compile(RACY_COUNTER).unwrap();
+        let r = execute(&p, &ExecConfig::default());
+        assert!(r.outcome.is_exit());
+        assert_eq!(r.stats.sched_preemptions, 0);
+    }
+
+    #[test]
+    fn strategies_handle_deadlock_and_step_limit() {
+        let deadlock = "lock_t a; lock_t b;
+             void w(int n) { lock(&b); lock(&a); unlock(&a); unlock(&b); }
+             int main() { int t; lock(&a); t = spawn(w, 0);
+                lock(&b); unlock(&b); unlock(&a); join(t); return 0; }";
+        let spin = "int main() { while (1) {} return 0; }";
+        for sched in [
+            SchedStrategy::Pct {
+                depth: 2,
+                span: 500,
+            },
+            SchedStrategy::PreemptBound {
+                budget: 64,
+                period: 1,
+            },
+        ] {
+            for seed in [1, 4] {
+                let cfg = ExecConfig {
+                    max_steps: 20_000,
+                    ..sched_cfg(sched, seed)
+                };
+                let p = compile(deadlock).unwrap();
+                let r = execute(&p, &cfg);
+                assert!(
+                    matches!(r.outcome, Outcome::Deadlock { .. } | Outcome::Exited(_)),
+                    "{sched:?} seed {seed}: {:?}",
+                    r.outcome
+                );
+                let p = compile(spin).unwrap();
+                assert_eq!(execute(&p, &cfg).outcome, Outcome::StepLimit);
+                assert_modes_agree_cfg(
+                    deadlock,
+                    &ExecConfig {
+                        max_steps: 20_000,
+                        ..sched_cfg(sched, seed)
+                    },
+                );
+            }
         }
     }
 

@@ -1,0 +1,182 @@
+//! A supervisor probe asserting the weak-lock single-holder invariant.
+//!
+//! Chimera's replay correctness (paper §2.3) rests on weak-locks never
+//! having two *conflicting* holders at once — conflicting meaning the
+//! same lock with overlapping (or unranged) guard ranges. The machine is
+//! supposed to preserve this through every acquire, release, timeout and
+//! forced hand-off; [`SingleHolderProbe`] re-derives the holder set
+//! purely from the event stream and records a violation whenever an
+//! acquisition lands while a conflicting holder is live. The
+//! schedule-exploration harness attaches it under adversarial
+//! [`crate::sched::SchedStrategy`] schedules, where hand-off races would
+//! surface if the invariant ever broke.
+
+use crate::event::{Event, EventKind, EventMask, Supervisor, ThreadId};
+use crate::sync::ranges_conflict;
+use chimera_minic::ir::WeakLockId;
+
+/// One live holder: `(lock, thread, guard range)`.
+type Holder = (WeakLockId, ThreadId, Option<(i64, i64)>);
+
+/// Tracks weak-lock holders from `WeakAcquire`/`WeakRelease`/
+/// `WeakForcedRelease` events and collects invariant violations.
+///
+/// Tolerates the protocol's benign shapes: a thread may hold one lock
+/// several times transiently (nested ranges, LIFO release), and a normal
+/// release by a thread that was already forcibly preempted is a no-op.
+#[derive(Debug, Default)]
+pub struct SingleHolderProbe {
+    /// Live holders in acquisition order.
+    holders: Vec<Holder>,
+    /// Human-readable description of each observed violation.
+    pub violations: Vec<String>,
+    /// Total effective acquisitions observed.
+    pub acquires: u64,
+    /// Total forced releases observed.
+    pub forced: u64,
+}
+
+impl SingleHolderProbe {
+    /// No violations observed so far.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Supervisor for SingleHolderProbe {
+    fn event_mask(&self) -> EventMask {
+        EventMask::of(&[
+            EventKind::WeakAcquire,
+            EventKind::WeakRelease,
+            EventKind::WeakForcedRelease,
+        ])
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        match *ev {
+            Event::WeakAcquire {
+                thread,
+                lock,
+                range,
+                seq,
+                ..
+            } => {
+                self.acquires += 1;
+                for &(l, t, r) in &self.holders {
+                    if l == lock && t != thread && ranges_conflict(r, range) {
+                        self.violations.push(format!(
+                            "weak-lock {lock:?} acquired by {thread} (range {range:?}, \
+                             seq {seq}) while conflicting holder {t} (range {r:?}) is live"
+                        ));
+                    }
+                }
+                self.holders.push((lock, thread, range));
+            }
+            Event::WeakRelease { thread, lock, .. } => {
+                // LIFO removal of that thread's entry; a release after a
+                // forced preemption finds nothing and is benign.
+                if let Some(pos) = self
+                    .holders
+                    .iter()
+                    .rposition(|&(l, t, _)| l == lock && t == thread)
+                {
+                    self.holders.remove(pos);
+                }
+            }
+            Event::WeakForcedRelease { lock, holder, .. } => {
+                self.forced += 1;
+                if let Some(pos) = self
+                    .holders
+                    .iter()
+                    .rposition(|&(l, t, _)| l == lock && t == holder)
+                {
+                    self.holders.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acq(t: u32, lock: u32, range: Option<(i64, i64)>) -> Event {
+        Event::WeakAcquire {
+            thread: ThreadId(t),
+            lock: WeakLockId(lock),
+            granularity: chimera_minic::ir::LockGranularity::Function,
+            range,
+            seq: 0,
+            time: 0,
+        }
+    }
+
+    fn rel(t: u32, lock: u32) -> Event {
+        Event::WeakRelease {
+            thread: ThreadId(t),
+            lock: WeakLockId(lock),
+            time: 0,
+        }
+    }
+
+    #[test]
+    fn clean_protocol_has_no_violations() {
+        let mut p = SingleHolderProbe::default();
+        p.on_event(&acq(0, 0, None));
+        p.on_event(&rel(0, 0));
+        p.on_event(&acq(1, 0, None));
+        p.on_event(&rel(1, 0));
+        assert!(p.holds());
+        assert_eq!(p.acquires, 2);
+    }
+
+    #[test]
+    fn conflicting_double_hold_is_a_violation() {
+        let mut p = SingleHolderProbe::default();
+        p.on_event(&acq(0, 0, None));
+        p.on_event(&acq(1, 0, None));
+        assert!(!p.holds());
+        assert!(p.violations[0].contains("conflicting holder"));
+    }
+
+    #[test]
+    fn disjoint_ranges_and_distinct_locks_coexist() {
+        let mut p = SingleHolderProbe::default();
+        p.on_event(&acq(0, 0, Some((0, 9))));
+        p.on_event(&acq(1, 0, Some((10, 19))));
+        p.on_event(&acq(2, 1, None));
+        assert!(p.holds(), "{:?}", p.violations);
+    }
+
+    #[test]
+    fn forced_release_clears_the_holder() {
+        let mut p = SingleHolderProbe::default();
+        p.on_event(&acq(0, 0, None));
+        p.on_event(&Event::WeakForcedRelease {
+            lock: WeakLockId(0),
+            holder: ThreadId(0),
+            icount: 5,
+            parked: true,
+            time: 0,
+        });
+        p.on_event(&acq(1, 0, None));
+        assert!(p.holds(), "{:?}", p.violations);
+        assert_eq!(p.forced, 1);
+        // The preempted thread's own later release is benign.
+        p.on_event(&rel(0, 0));
+        p.on_event(&rel(1, 0));
+        assert!(p.holds());
+    }
+
+    #[test]
+    fn mask_covers_only_weak_events() {
+        let p = SingleHolderProbe::default();
+        let m = p.event_mask();
+        assert!(m.contains(EventKind::WeakAcquire));
+        assert!(m.contains(EventKind::WeakForcedRelease));
+        assert!(!m.contains(EventKind::Sync));
+        assert!(!m.contains(EventKind::Load));
+    }
+}

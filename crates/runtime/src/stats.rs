@@ -33,6 +33,10 @@ pub struct ExecStats {
     pub forced_releases: u64,
     /// Threads created (including main).
     pub threads: u64,
+    /// Scheduling perturbations injected by a non-baseline
+    /// [`crate::sched::SchedStrategy`] (PCT priority changes, forced
+    /// preemptions); 0 under the clock-ordered baseline.
+    pub sched_preemptions: u64,
 }
 
 impl ExecStats {

@@ -15,7 +15,7 @@
 use chimera::{analyze, PipelineConfig};
 use chimera_minic::compile;
 use chimera_runtime::{
-    execute_mode, ExecConfig, ExecResult, InterpMode, NullSupervisor,
+    execute_mode, ExecConfig, ExecResult, InterpMode, NullSupervisor, SchedStrategy,
 };
 use chimera_testkit::prop::{self, Config, Gen};
 use chimera_workloads::{all, Params};
@@ -269,6 +269,7 @@ struct VmCase {
     threads: u8,
     seed: u64,
     collect_trace: bool,
+    sched: SchedStrategy,
 }
 
 fn render_program(case: &VmCase) -> String {
@@ -326,6 +327,19 @@ fn case_gen() -> Gen<VmCase> {
         threads: s.int(1u8..=4),
         seed: s.int(0u64..10_000),
         collect_trace: s.bool(),
+        // The scheduler seam is part of the surface being pinned: a third
+        // of cases run under each adversarial strategy with drawn knobs.
+        sched: match s.int(0u8..3) {
+            0 => SchedStrategy::ClockJitter,
+            1 => SchedStrategy::Pct {
+                depth: s.int(2u32..5),
+                span: s.int(100u64..5_000),
+            },
+            _ => SchedStrategy::PreemptBound {
+                budget: s.int(16u32..512),
+                period: s.int(1u64..4),
+            },
+        },
     })
 }
 
@@ -336,6 +350,7 @@ fn check_modes_agree(case: &VmCase) -> Result<(), String> {
         seed: case.seed,
         collect_trace: case.collect_trace,
         count_blocks: true,
+        sched: case.sched,
         ..ExecConfig::default()
     };
     let flat = execute_mode(&p, &cfg, InterpMode::Flat);

@@ -15,7 +15,7 @@ use chimera_minic::ir::{
     FuncId, Instr, LockGranularity, Program, Terminator, WeakLockId,
 };
 use chimera_replay::{record, replay, verify_determinism};
-use chimera_runtime::{execute, ExecConfig};
+use chimera_runtime::{execute, execute_supervised, ExecConfig, SchedStrategy, SingleHolderProbe};
 
 /// Wrap the whole body of `func` in weak-lock `lock` — the hand-rolled
 /// equivalent of a function-granularity instrumentation decision.
@@ -166,6 +166,123 @@ fn larger_timeout_just_delays_the_resolution() {
         slow.makespan,
         fast.makespan
     );
+}
+
+/// The hostile schedules for the timeout tests: PCT with change points
+/// sized to this short program, and preemption-bounding with `period: 1`
+/// so a context switch is forced at *every* weak-lock acquire/release and
+/// shared-access boundary — including the acquire the timeout hands off.
+fn adversarial_strategies() -> Vec<SchedStrategy> {
+    vec![
+        SchedStrategy::Pct {
+            depth: 3,
+            span: 500,
+        },
+        SchedStrategy::PreemptBound {
+            budget: 4_096,
+            period: 1,
+        },
+    ]
+}
+
+#[test]
+fn timeout_handoff_survives_adversarial_schedules() {
+    let p = deadlocky_program();
+    for sched in adversarial_strategies() {
+        for seed in [1u64, 7, 23] {
+            let cfg = ExecConfig {
+                seed,
+                sched,
+                weak_timeout: 2_000,
+                ..ExecConfig::default()
+            };
+            let mut probe = SingleHolderProbe::default();
+            let r = execute_supervised(&p, &cfg, &mut probe);
+            assert!(
+                r.outcome.is_exit(),
+                "{} seed {seed}: {:?}",
+                sched.name(),
+                r.outcome
+            );
+            assert!(
+                r.stats.forced_releases > 0,
+                "{} seed {seed}: deadlock must resolve via forced release",
+                sched.name()
+            );
+            let out: Vec<i64> = r.output.iter().map(|(_, v)| *v).collect();
+            assert_eq!(
+                out,
+                vec![77],
+                "{} seed {seed}: consumer lost the produced value",
+                sched.name()
+            );
+            assert!(
+                probe.holds(),
+                "{} seed {seed}: single-holder violated: {:?}",
+                sched.name(),
+                probe.violations
+            );
+            assert!(probe.forced > 0, "{} seed {seed}", sched.name());
+        }
+    }
+}
+
+#[test]
+fn forced_releases_replay_exactly_under_adversarial_schedules() {
+    let p = deadlocky_program();
+    for sched in adversarial_strategies() {
+        // Not every schedule deadlocks: if the producer runs to completion
+        // before the consumer starts, `ready` is already set and nobody
+        // parks holding the weak-lock. Require the deadlock somewhere in
+        // the sweep, and replay fidelity everywhere.
+        let mut saw_forced = false;
+        for seed in [1u64, 5, 9, 13] {
+            let rec = record(
+                &p,
+                &ExecConfig {
+                    seed,
+                    sched,
+                    weak_timeout: 2_000,
+                    ..ExecConfig::default()
+                },
+            );
+            assert!(
+                rec.result.outcome.is_exit(),
+                "{} seed {seed}: {:?}",
+                sched.name(),
+                rec.result.outcome
+            );
+            saw_forced |= !rec.logs.forced.is_empty();
+            // Hostile replay: same strategy, different seed.
+            let rep = replay(
+                &p,
+                &rec.logs,
+                &ExecConfig {
+                    seed: seed + 555,
+                    sched,
+                    weak_timeout: 2_000,
+                    ..ExecConfig::default()
+                },
+            );
+            let v = verify_determinism(&rec.result, &rep.result);
+            assert!(
+                rep.complete && v.equivalent,
+                "{} seed {seed}: diverged: {:?}",
+                sched.name(),
+                v.differences
+            );
+            assert_eq!(
+                rep.result.stats.forced_releases, rec.result.stats.forced_releases,
+                "{} seed {seed}: replay must re-inject exactly the recorded preemptions",
+                sched.name()
+            );
+        }
+        assert!(
+            saw_forced,
+            "{}: no seed in the sweep exercised the forced-release path",
+            sched.name()
+        );
+    }
 }
 
 /// Regression: a cross-granularity lock-order inversion (one thread holds
