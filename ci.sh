@@ -38,6 +38,15 @@ echo "== schedule exploration (adversarial schedulers) =="
 # unmissable.
 cargo test -q --offline --test schedule_exploration
 
+echo "== replay log format + divergence bisection =="
+# Log format v2 invariants (round-trip, v1 back-compat, corruption
+# rejection with chunk attribution) and the checkpoint-bisection oracle
+# localizing planted divergences on every workload (DESIGN.md §12).
+# Run in the suites above too; invoked explicitly so a failure is
+# unmissable.
+cargo test -q --offline -p chimera-replay
+cargo test -q --offline --test replay_bisection
+
 echo "== explore smoke (CLI sweep on checked-in fixture) =="
 # One-sample end-to-end run of the CLI: instrument a checked-in racy
 # program and certify its replay under every strategy — zero
@@ -74,6 +83,14 @@ echo "== scheduler-seam overhead smoke (1 sample) =="
 # committed BENCH_sched.json is refreshed manually (see EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench sched_explore
+
+echo "== replay-format overhead smoke (1 sample) =="
+# Proves every workload still records, round-trips both container
+# versions, and that v2 never emits more bytes than v1 (the bench
+# asserts it); committed BENCH_replay.json is refreshed manually (see
+# EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench replay_format
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

@@ -5,7 +5,8 @@
 //! chimera plan <file.mc>                       # instrumentation plan
 //! chimera run <file.mc> [--seed N]             # execute (uninstrumented)
 //! chimera record <file.mc> -o <log> [--seed N] # instrument + record
-//! chimera replay <file.mc> <log> [--seed N]    # replay from a log file
+//! chimera replay <file.mc> <log> [--seed N] [--bisect]
+//!                                              # replay from a log file
 //! chimera ir <file.mc>                         # dump the IR
 //! chimera drd <file.mc> [--instrumented]       # dynamic race report
 //! chimera explore [file.mc] [--strategy S] [--seeds N] [--drd] [-o r.json]
@@ -14,7 +15,11 @@
 //!
 //! `record` and `replay` must agree on the file and options so the
 //! instrumented programs match; the log's byte format is
-//! [`chimera_replay::ReplayLogs::to_bytes`].
+//! [`chimera_replay::ReplayLogs::to_bytes`]. With `--bisect`, a diverging
+//! replay is re-examined forensically: the replayer records its own
+//! journal and checkpoints alongside enforcement, and a binary search over
+//! the checkpoint digests names the first mismatched chunk and event with
+//! a root-cause hint (requires a v2 log).
 //!
 //! `explore` sweeps the instrumented program across scheduling strategies
 //! (`jitter`, `pct`, `preempt-bound`, or `all`) × `--seeds` record seeds,
@@ -51,6 +56,7 @@ struct Cli {
     strategy: String,
     seeds: u64,
     drd: bool,
+    bisect: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -72,6 +78,7 @@ fn parse_cli() -> Result<Cli, String> {
         strategy: "all".to_string(),
         seeds: 3,
         drd: false,
+        bisect: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -115,6 +122,10 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--drd" => {
                 cli.drd = true;
+                i += 1;
+            }
+            "--bisect" => {
+                cli.bisect = true;
                 i += 1;
             }
             arg => {
@@ -234,14 +245,49 @@ fn run() -> Result<(), String> {
                     ..PipelineConfig::default()
                 },
             );
-            let rep = chimera_replay::replay(&analysis.instrumented, &logs, &exec);
-            report_exec(&rep.result);
-            if rep.complete {
-                println!("replay complete: every logged event consumed");
-                Ok(())
+            if cli.bisect {
+                if logs.journal.is_empty() && logs.sync_log_entries > 0 {
+                    return Err(format!(
+                        "{log_path} is a v1 log with no journal or checkpoints; \
+                         re-record with this build to enable bisection"
+                    ));
+                }
+                let rep = chimera_replay::replay_bisect(&analysis.instrumented, &logs, &exec);
+                report_exec(&rep.result);
+                match chimera_replay::localize_divergence(&logs, &rep.observed) {
+                    None => {
+                        println!(
+                            "replay conformant: {} chunk(s), {} checkpoint(s) verified",
+                            logs.chunk_count(),
+                            logs.checkpoints.len()
+                        );
+                        if rep.complete {
+                            Ok(())
+                        } else {
+                            Err("replay stalled without journal divergence \
+                                 (log truncated?)"
+                                .into())
+                        }
+                    }
+                    Some(d) => {
+                        println!("{d}");
+                        Err(format!(
+                            "replay diverged at event {} (chunk {}): {}",
+                            d.event, d.chunk, d.cause
+                        ))
+                    }
+                }
             } else {
-                Err("replay diverged (did record/replay use the same file and options?)"
-                    .into())
+                let rep = chimera_replay::replay(&analysis.instrumented, &logs, &exec);
+                report_exec(&rep.result);
+                if rep.complete {
+                    println!("replay complete: every logged event consumed");
+                    Ok(())
+                } else {
+                    Err("replay diverged (did record/replay use the same file and options? \
+                         try --bisect for forensics)"
+                        .into())
+                }
             }
         }
         "drd" => {

@@ -40,7 +40,10 @@ pub mod record;
 pub mod replayer;
 pub mod verify;
 
-pub use logs::{compressed_estimate, ReplayLogs};
-pub use record::{record, Recorder, Recording};
-pub use replayer::{replay, Replayer, ReplayRun};
-pub use verify::{verify_determinism, DeterminismReport};
+pub use logs::{compressed_estimate, Checkpoint, JournalEvent, LogSuffix, ReplayLogs, CHUNK_EVENTS};
+pub use record::{record, record_with, Recorder, Recording};
+pub use replayer::{replay, replay_bisect, BisectReplay, ReplayRun, Replayer};
+pub use verify::{
+    localize_divergence, verify_determinism, verify_with_bisection, DeterminismReport, Divergence,
+    DivergenceCause,
+};

@@ -166,6 +166,9 @@ impl Supervisor for Replayer {
                 self.logs.output_order.is_empty()
                     || Self::next_allowed(&self.logs.output_order, self.output_pos, thread)
             }
+            // Per-object replay feeds inputs by per-thread sequence number
+            // (`input_override`); their global position needs no gate.
+            OrderPoint::Input => true,
         }
     }
 
@@ -227,6 +230,178 @@ impl Supervisor for Replayer {
         } else {
             None
         }
+    }
+}
+
+/// Result of a digest-observing replay (see [`replay_bisect`]).
+#[derive(Debug, Clone)]
+pub struct BisectReplay {
+    /// The replayed execution.
+    pub result: ExecResult,
+    /// True if the replay consumed every ordered log entry (as in
+    /// [`ReplayRun::complete`]).
+    pub complete: bool,
+    /// The logs the replay itself produced — journal and checkpoints
+    /// included — ready to diff against the recording with
+    /// `localize_divergence`.
+    pub observed: ReplayLogs,
+}
+
+/// Replay `program` against `logs` while simultaneously re-recording it:
+/// the returned [`BisectReplay::observed`] logs carry the replay's own
+/// journal and schedule-digest checkpoints at the recording's own
+/// checkpoint interval, which is what divergence bisection compares
+/// against the original recording.
+///
+/// Unlike [`replay`], which enforces only the *per-object* orders (all
+/// Chimera needs for state determinism — independent objects may commute
+/// globally), forensic replay additionally pins every ordered event to
+/// its recorded **global** journal position. That sequentialization is
+/// what makes the observed journal and checkpoint digests byte-comparable
+/// to the recording; it costs parallelism, which is irrelevant when
+/// hunting a divergence.
+pub fn replay_bisect(program: &Program, logs: &ReplayLogs, base: &ExecConfig) -> BisectReplay {
+    let config = ExecConfig {
+        log_sync: false,
+        log_weak: false,
+        log_input: false,
+        timeout_enabled: false,
+        ..*base
+    };
+    // Mirror the recording's checkpoint cadence so the digest streams
+    // line up; default to the standard chunk interval for logs recorded
+    // without checkpoints.
+    let interval = logs
+        .checkpoints
+        .first()
+        .map_or(crate::logs::CHUNK_EVENTS as u64, |c| c.events);
+    let mut sup = BisectReplayer {
+        rep: Replayer::new(logs.clone()),
+        rec: crate::record::Recorder::with_interval(interval),
+        journal: logs.journal.clone(),
+        cursor: 0,
+    };
+    let result = execute_supervised(program, &config, &mut sup);
+    let complete = result.outcome.is_exit() && sup.rep.fully_consumed();
+    BisectReplay {
+        result,
+        complete,
+        observed: sup.rec.logs,
+    }
+}
+
+/// A [`Replayer`] composed with a [`crate::record::Recorder`]: the
+/// replayer side enforces the recorded per-object orders, the global gate
+/// (`journal`/`cursor`) serializes events into their recorded journal
+/// positions, and the recorder side writes down what the replay actually
+/// did (plus checkpoints).
+#[derive(Debug, Clone)]
+struct BisectReplayer {
+    rep: Replayer,
+    rec: crate::record::Recorder,
+    journal: Vec<crate::logs::JournalEvent>,
+    cursor: usize,
+}
+
+impl BisectReplayer {
+    /// Does the journal event match what `thread` wants to commit at
+    /// `point`? `Forced` entries never match here: they are not gated
+    /// (their timing is pinned by the holder's instruction count), so a
+    /// `Forced` journal head simply stalls every gated thread until the
+    /// holder reaches its recorded preemption point and emits it.
+    fn head_matches(ev: &crate::logs::JournalEvent, point: OrderPoint, thread: ThreadId) -> bool {
+        use crate::logs::JournalEvent as J;
+        match (*ev, point) {
+            (J::Mutex { thread: t, addr }, OrderPoint::Mutex(a)) => t == thread.0 && addr == a,
+            (J::Cond { thread: t, addr }, OrderPoint::Cond(a)) => t == thread.0 && addr == a,
+            (J::Weak { thread: t, lock }, OrderPoint::Weak(l)) => t == thread.0 && lock == l,
+            (J::Spawn { thread: t }, OrderPoint::Spawn) => t == thread.0,
+            (J::Output { thread: t }, OrderPoint::Output) => t == thread.0,
+            (J::Input { thread: t }, OrderPoint::Input) => t == thread.0,
+            _ => false,
+        }
+    }
+
+    /// Is `ev` one of the journal-ordered kinds (advances the cursor)?
+    fn is_journaled(ev: &Event) -> bool {
+        match ev {
+            Event::Sync { kind, .. } => matches!(
+                kind,
+                chimera_runtime::SyncKind::Mutex
+                    | chimera_runtime::SyncKind::Cond
+                    | chimera_runtime::SyncKind::Spawn
+            ),
+            Event::Output { .. }
+            | Event::Input { .. }
+            | Event::WeakAcquire { .. }
+            | Event::WeakForcedRelease { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+impl Supervisor for BisectReplayer {
+    /// Union of both sides: the replayer's order-tracking kinds plus the
+    /// recorder's `Input`.
+    fn event_mask(&self) -> EventMask {
+        self.rep.event_mask().union(self.rec.event_mask())
+    }
+
+    fn injects_forced_releases(&self) -> bool {
+        self.rep.injects_forced_releases()
+    }
+
+    fn checkpoint_interval(&self) -> u64 {
+        self.rec.checkpoint_interval()
+    }
+
+    fn on_checkpoint(&mut self, events: u64, state_hash: u64) {
+        self.rec.on_checkpoint(events, state_hash);
+    }
+
+    fn defers_cond_signals(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.rep.on_event(ev);
+        self.rec.on_event(ev);
+        if Self::is_journaled(ev) {
+            // Advance unconditionally: on a divergent replay the emitted
+            // event may not match `journal[cursor]`, but the comparison
+            // is `localize_divergence`'s job, not the gate's.
+            self.cursor += 1;
+        }
+    }
+
+    fn may_proceed(&mut self, point: OrderPoint, thread: ThreadId) -> bool {
+        if !self.rep.may_proceed(point, thread) {
+            return false;
+        }
+        match self.journal.get(self.cursor) {
+            Some(expected) => Self::head_matches(expected, point, thread),
+            // Past the recorded journal (or a v1 log with none): the
+            // global gate has nothing left to say.
+            None => true,
+        }
+    }
+
+    fn input_override(
+        &mut self,
+        thread: ThreadId,
+        chan: i64,
+        len: usize,
+    ) -> Option<Vec<i64>> {
+        self.rep.input_override(thread, chan, len)
+    }
+
+    fn forced_release_at(
+        &mut self,
+        thread: ThreadId,
+        icount: u64,
+        parked: bool,
+    ) -> Option<WeakLockId> {
+        self.rep.forced_release_at(thread, icount, parked)
     }
 }
 
@@ -295,6 +470,34 @@ mod tests {
             any_divergence,
             "expected at least one divergent replay of a racy program"
         );
+    }
+
+    #[test]
+    fn bisect_replay_reproduces_journal_and_checkpoints() {
+        // The digest-soundness test: under a *different* jitter seed, a
+        // conforming replay must reproduce the recorded journal AND every
+        // checkpoint digest bit-for-bit. If this fails, something
+        // schedule-dependent leaked into the fold.
+        let src = "int g; lock_t m; int buf[16];
+             void w(int n) { int i; for (i = 0; i < 200; i = i + 1) {
+                lock(&m); g = g + n; unlock(&m); } }
+             int main() { int t;
+                sys_read(1000, &buf[0], 16);
+                t = spawn(w, 1); w(2); join(t);
+                print(g); print(buf[3]); return 0; }";
+        let p = compile(src).unwrap();
+        for seed in [7u64, 23, 901] {
+            let rec = record(&p, &ExecConfig { seed, ..ExecConfig::default() });
+            let rep = replay_bisect(
+                &p,
+                &rec.logs,
+                &ExecConfig { seed: seed ^ 0xabcd, ..ExecConfig::default() },
+            );
+            assert!(rep.complete, "seed {seed}");
+            assert_eq!(rep.observed.journal, rec.logs.journal, "seed {seed}");
+            assert!(!rec.logs.checkpoints.is_empty(), "seed {seed}");
+            assert_eq!(rep.observed.checkpoints, rec.logs.checkpoints, "seed {seed}");
+        }
     }
 
     #[test]

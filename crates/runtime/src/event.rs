@@ -249,6 +249,11 @@ pub enum OrderPoint {
     /// the order of output syscalls, so the recorder logs and the replayer
     /// enforces it.
     Output,
+    /// An input system call (`sys_read`/`sys_input`). Ordinary replay
+    /// feeds inputs by per-thread sequence number and never gates here;
+    /// forensic (bisecting) replay additionally pins each input's global
+    /// journal position so checkpoint digests stay comparable.
+    Input,
 }
 
 /// The supervisor: observes events, gates ordering points, supplies input,
@@ -309,6 +314,40 @@ pub trait Supervisor {
         _parked: bool,
     ) -> Option<WeakLockId> {
         None
+    }
+
+    /// Emit a schedule-digest checkpoint every N replay-ordered events
+    /// (0 disables checkpointing, the default). When nonzero, the machine
+    /// folds every ordered event — sync commits, outputs, inputs,
+    /// weak-lock acquisitions, forced releases — into a running FNV digest
+    /// of schedule-determined state and calls
+    /// [`Supervisor::on_checkpoint`] at each interval boundary.
+    ///
+    /// The digest deliberately covers only state that is a function of the
+    /// replayed orders (event kind, object, thread, payload words, and at
+    /// each boundary the committing thread's live registers): a
+    /// full-memory hash taken mid-run would also see *other* threads'
+    /// in-flight stores, which legitimately differ between a recording and
+    /// a conforming replay under different jitter. Retired-instruction
+    /// counts are excluded for the same reason — barrier arrival order is
+    /// unordered by design and skews them.
+    fn checkpoint_interval(&self) -> u64 {
+        0
+    }
+
+    /// Called at each checkpoint boundary with the number of ordered
+    /// events committed so far and the running schedule digest.
+    fn on_checkpoint(&mut self, _events: u64, _state_hash: u64) {}
+
+    /// When `true`, a cond signal/broadcast whose waiters are all gated
+    /// off by [`Supervisor::may_proceed`] *blocks the signaler* instead of
+    /// dropping the wakeup. Plain execution and per-object replay never
+    /// need this (their gates always admit some waiter that is present);
+    /// a globally-ordered forensic replay does, because the recorded
+    /// recipient may not have reached its global turn yet and the wakeup
+    /// must not be lost in the meantime.
+    fn defers_cond_signals(&self) -> bool {
+        false
     }
 }
 

@@ -322,6 +322,21 @@ struct Machine<'p> {
     argv: Vec<i64>,
     /// Scratch for `sys_write` payload staging (reused across syscalls).
     io_buf: Vec<i64>,
+    /// Checkpoint every N replay-ordered events (0 = off; set once per run
+    /// from [`Supervisor::checkpoint_interval`]).
+    ckpt_interval: u64,
+    /// Replay-ordered events committed so far (counted only when
+    /// checkpointing is on).
+    ordered_events: u64,
+    /// Running FNV-1a digest of schedule-determined state (see
+    /// [`Machine::fold_ordered`]).
+    ckpt_digest: u64,
+}
+
+/// One FNV-1a fold of a 64-bit word (the checkpoint digest step).
+#[inline]
+fn fold64(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 enum StepEnd {
@@ -382,6 +397,9 @@ impl<'p> Machine<'p> {
             sched_dirty: false,
             argv: Vec::new(),
             io_buf: Vec::new(),
+            ckpt_interval: 0,
+            ordered_events: 0,
+            ckpt_digest: 0xcbf2_9ce4_8422_2325,
         };
         let main = program.main();
         m.spawn_thread(main, &[], 0);
@@ -436,19 +454,100 @@ impl<'p> Machine<'p> {
     /// trace (if one is being collected). Construction of allocating
     /// events is additionally gated by [`Machine::wants`] on the flat path.
     fn emit(&mut self, sup: &mut dyn Supervisor, ev: Event) {
+        let boundary = self.ckpt_interval != 0 && self.fold_ordered(&ev);
         if self.mask.contains(ev.kind()) {
             sup.on_event(&ev);
         }
         if self.config.collect_trace {
             self.trace.push(ev);
         }
+        if boundary {
+            sup.on_checkpoint(self.ordered_events, self.ckpt_digest);
+        }
+    }
+
+    /// Fold a replay-ordered event into the running checkpoint digest;
+    /// returns true when this event lands on a checkpoint boundary.
+    ///
+    /// Only *schedule-determined* state goes in: the event's kind, object,
+    /// committing thread, payload words, and the committing thread's own
+    /// retired-instruction count — plus, at boundaries, that thread's live
+    /// registers. For a DRF (or weak-lock-instrumented) program these are
+    /// functions of the enforced order and recorded inputs, so a
+    /// conforming replay reproduces the digest exactly. Clocks, jitter, or
+    /// a full-memory hash would not survive mid-run comparison: threads
+    /// *between* their own sync points legitimately sit at different
+    /// instructions under different schedules.
+    fn fold_ordered(&mut self, ev: &Event) -> bool {
+        let (tag, thread, obj): (u64, u32, u64) = match ev {
+            Event::Sync { thread, kind, addr, .. } => match kind {
+                SyncKind::Mutex => (1, thread.0, *addr as u64),
+                SyncKind::Cond => (2, thread.0, *addr as u64),
+                SyncKind::Spawn => (3, thread.0, 0),
+                // Barrier releases and joins are deterministic given the
+                // rest of the order; they are not replay-ordered.
+                SyncKind::Barrier | SyncKind::Join => return false,
+            },
+            Event::Output { thread, .. } => (4, thread.0, 0),
+            Event::Input { thread, .. } => (5, thread.0, 0),
+            Event::WeakAcquire { thread, lock, .. } => (6, thread.0, lock.0 as u64),
+            Event::WeakForcedRelease { lock, holder, .. } => (7, holder.0, lock.0 as u64),
+            _ => return false,
+        };
+        let mut h = self.ckpt_digest;
+        h = fold64(h, tag);
+        h = fold64(h, thread as u64);
+        h = fold64(h, obj);
+        // Deliberately NOT folded: the committing thread's retired
+        // instruction count. Barrier releases retire the wait instruction
+        // once extra on whichever thread arrives last — unordered by
+        // design — so icount is not a function of the replayed orders.
+        match ev {
+            Event::Output { data, .. } | Event::Input { data, .. } => {
+                h = fold64(h, data.len() as u64);
+                for &w in data {
+                    h = fold64(h, w as u64);
+                }
+            }
+            Event::WeakForcedRelease { icount, parked, .. } => {
+                h = fold64(h, *icount);
+                h = fold64(h, *parked as u64);
+            }
+            _ => {}
+        }
+        self.ordered_events += 1;
+        let boundary = self.ordered_events.is_multiple_of(self.ckpt_interval);
+        if boundary {
+            // The committing thread sits at its own ordered event, so its
+            // top frame's registers are schedule-determined here.
+            if let Some(fr) = self.threads[thread as usize].frames.last() {
+                h = fold64(h, fr.regs.len() as u64);
+                for &r in &fr.regs {
+                    h = fold64(h, r as u64);
+                }
+            }
+        }
+        self.ckpt_digest = h;
+        boundary
     }
 
     /// Would an event of kind `k` be observed by anyone? When false, the
     /// flat path skips building the event (and any payload clone) entirely.
+    /// Checkpointing forces construction of the replay-ordered kinds so
+    /// every one of them reaches the digest fold.
     #[inline]
     fn wants(&self, k: EventKind) -> bool {
-        self.config.collect_trace || self.mask.contains(k)
+        self.config.collect_trace
+            || self.mask.contains(k)
+            || (self.ckpt_interval != 0
+                && matches!(
+                    k,
+                    EventKind::Sync
+                        | EventKind::Output
+                        | EventKind::Input
+                        | EventKind::WeakAcquire
+                        | EventKind::WeakForcedRelease
+                ))
     }
 
     /// Does the attached supervisor consume detector-feed events of kind
@@ -474,6 +573,7 @@ impl<'p> Machine<'p> {
 
     fn run(mut self, sup: &mut dyn Supervisor) -> ExecResult {
         self.mask = sup.event_mask();
+        self.ckpt_interval = sup.checkpoint_interval();
         if self.config.collect_trace {
             self.trace.reserve(1024);
         }
@@ -2520,6 +2620,26 @@ impl<'p> Machine<'p> {
         addr: i64,
         broadcast: bool,
     ) -> StepEnd {
+        // A globally-ordered (forensic) replay gates each wakeup on its
+        // journal turn; dropping a signal because the recorded recipient
+        // hasn't reached that turn yet would lose the wakeup forever, so
+        // such supervisors ask the signaler to wait instead. Checked
+        // before any mutation so the blocked step can simply re-run.
+        if sup.defers_cond_signals() {
+            let waiters = self
+                .sync
+                .conds
+                .ensure(addr)
+                .waiters
+                .clone();
+            if !waiters.is_empty()
+                && !waiters
+                    .iter()
+                    .any(|w| sup.may_proceed(OrderPoint::Cond(addr), *w))
+            {
+                return StepEnd::Block(BlockReason::OrderTurn);
+            }
+        }
         let now = self.threads[tid.index()].clock;
         loop {
             let cand = {
@@ -2578,6 +2698,9 @@ impl<'p> Machine<'p> {
         len: usize,
         dst: Option<LocalId>,
     ) -> StepEnd {
+        if !sup.may_proceed(OrderPoint::Input, tid) {
+            return StepEnd::Block(BlockReason::OrderTurn);
+        }
         let (data, latency) = match sup.input_override(tid, chan, len) {
             Some(d) => (d, 0),
             None => {
@@ -2608,6 +2731,7 @@ impl<'p> Machine<'p> {
                 time,
             },
         );
+        self.wake_order_stalled();
         self.advance_pc(tid);
         let log = if self.config.log_input {
             self.cost.log_write + (len as u64) / 4
@@ -2624,6 +2748,9 @@ impl<'p> Machine<'p> {
         chan: i64,
         dst: LocalId,
     ) -> StepEnd {
+        if !sup.may_proceed(OrderPoint::Input, tid) {
+            return StepEnd::Block(BlockReason::OrderTurn);
+        }
         let (data, latency) = match sup.input_override(tid, chan, 1) {
             Some(d) => (d, 0),
             None => {
@@ -2648,6 +2775,7 @@ impl<'p> Machine<'p> {
                 time,
             },
         );
+        self.wake_order_stalled();
         self.advance_pc(tid);
         let log = if self.config.log_input {
             self.cost.log_write
