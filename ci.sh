@@ -23,6 +23,33 @@ echo "== interpreter differential suite (flat vs reference) =="
 # in the suite above too; invoked explicitly so a failure is unmissable.
 cargo test -q --offline --test vm_differential
 
+echo "== fused-differential gate (superinstruction + spec-engine identity) =="
+# The fusion pass's unit invariants (sidecar agrees with the summary,
+# fused sites never exceed static pairs) and the differential cases that
+# arm the full layered engine — fusion + batch commit + speculative
+# rounds — against the reference interpreter (DESIGN.md §13). Subsets of
+# suites above; named so a fusion regression is unmissable.
+cargo test -q --offline -p chimera-runtime --lib flat::tests
+cargo test -q --offline --test vm_differential parallel_mode
+
+echo "== parallel-smoke gate (DRF-certified parallel mode) =="
+# End-to-end CLI: the parallel flat VM must reach the same final state
+# as serial on the checked-in fixture, with CHIMERA_SERIAL=1 respected
+# as the fallback (DESIGN.md §13). The full nine-workload bit-identity
+# pin (results, traces, replay logs) lives in vm_differential.
+chimera_bin="cargo run -q --release --offline -p chimera --bin chimera --"
+par_hash=$($chimera_bin run fixtures/racy_counter.mc --parallel 4 --no-jitter --json \
+    | grep '"state_hash"')
+ser_hash=$($chimera_bin run fixtures/racy_counter.mc --no-jitter --json \
+    | grep '"state_hash"')
+pin_hash=$(CHIMERA_SERIAL=1 $chimera_bin run fixtures/racy_counter.mc --parallel 4 --no-jitter --json \
+    | grep '"state_hash"')
+if [ "$par_hash" != "$ser_hash" ] || [ "$pin_hash" != "$ser_hash" ]; then
+    echo "parallel smoke diverged: serial=$ser_hash parallel=$par_hash pinned=$pin_hash" >&2
+    exit 1
+fi
+echo "parallel mode bit-identical to serial (and CHIMERA_SERIAL=1 respected)"
+
 echo "== DRF-equivalence certification =="
 # Every workload certifies race-free instrumented and every dynamic race
 # joins a static relay pair; racy corpus + generative sweep race

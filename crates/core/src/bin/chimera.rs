@@ -3,7 +3,8 @@
 //! ```text
 //! chimera races <file.mc>                      # static race report
 //! chimera plan <file.mc>                       # instrumentation plan
-//! chimera run <file.mc> [--seed N]             # execute (uninstrumented)
+//! chimera run <file.mc> [--seed N] [--parallel [W]] [--no-jitter] [--json]
+//!                                              # execute (uninstrumented)
 //! chimera record <file.mc> -o <log> [--seed N] # instrument + record
 //! chimera replay <file.mc> <log> [--seed N] [--bisect]
 //!                                              # replay from a log file
@@ -20,6 +21,18 @@
 //! journal and checkpoints alongside enforcement, and a binary search over
 //! the checkpoint digests names the first mismatched chunk and event with
 //! a root-cause hint (requires a v2 log).
+//!
+//! `run --parallel [W]` executes the flat VM's DRF-certified parallel
+//! mode with `W` OS workers (default 4): speculative segment rounds are
+//! evaluated by `chimera_runtime::par_map` against a frozen memory
+//! snapshot and joined deterministically, so outcome, output, state hash
+//! and stats are bit-identical to serial execution (`CHIMERA_SERIAL=1`
+//! forces the serial engine regardless). The speculative engine only
+//! arms with timing jitter off — pass `--no-jitter` to see it (and
+//! parallel rounds) actually engage. `run --json` emits a
+//! machine-readable report including the VM strategy counters
+//! (superinstructions dispatched, batch runs, speculative rounds) and the
+//! decode-time fusion table.
 //!
 //! `explore` sweeps the instrumented program across scheduling strategies
 //! (`jitter`, `pct`, `preempt-bound`, or `all`) × `--seeds` record seeds,
@@ -57,6 +70,9 @@ struct Cli {
     seeds: u64,
     drd: bool,
     bisect: bool,
+    parallel: u32,
+    json: bool,
+    no_jitter: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -79,6 +95,9 @@ fn parse_cli() -> Result<Cli, String> {
         seeds: 3,
         drd: false,
         bisect: false,
+        parallel: 1,
+        json: false,
+        no_jitter: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -128,6 +147,28 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.bisect = true;
                 i += 1;
             }
+            "--parallel" => {
+                // Optional worker count: `--parallel 8` or bare
+                // `--parallel` (4 workers).
+                if let Some(w) = argv.get(i + 1).and_then(|v| v.parse::<u32>().ok()) {
+                    cli.parallel = w.max(1);
+                    i += 2;
+                } else {
+                    cli.parallel = 4;
+                    i += 1;
+                }
+            }
+            "--json" => {
+                cli.json = true;
+                i += 1;
+            }
+            "--no-jitter" => {
+                // Timing jitter off. This is what arms the speculative
+                // segment engine (and with --parallel its OS-thread
+                // dispatch): hot commits must draw no RNG.
+                cli.no_jitter = true;
+                i += 1;
+            }
             arg => {
                 if cli.file.is_none() {
                     cli.file = Some(arg.to_string());
@@ -165,6 +206,12 @@ fn run() -> Result<(), String> {
     };
     let exec = ExecConfig {
         seed: cli.seed,
+        parallelism: cli.parallel,
+        jitter: if cli.no_jitter {
+            chimera_runtime::Jitter::none()
+        } else {
+            chimera_runtime::Jitter::default()
+        },
         ..ExecConfig::default()
     };
 
@@ -209,7 +256,11 @@ fn run() -> Result<(), String> {
         }
         "run" => {
             let r = execute(&program, &exec);
-            report_exec(&r);
+            if cli.json {
+                print!("{}", run_json(&program, &r, &exec));
+            } else {
+                report_exec(&r);
+            }
             Ok(())
         }
         "record" => {
@@ -316,6 +367,9 @@ fn run() -> Result<(), String> {
             );
             if run.report.is_race_free() {
                 println!("execution is data-race-free");
+                if let Some(cert) = run.certificate(&exec) {
+                    println!("segment certificate: {}", cert.to_json());
+                }
             }
             Ok(())
         }
@@ -419,6 +473,60 @@ fn run_explore(cli: &Cli) -> Result<(), String> {
         reports.len()
     );
     Ok(())
+}
+
+/// `chimera run --json`: one JSON object with the execution result, the
+/// VM strategy counters (how the flat engine actually ran the program),
+/// and the decode-time fusion table that drove the superinstruction pass.
+fn run_json(
+    program: &chimera_minic::ir::Program,
+    r: &chimera_runtime::ExecResult,
+    exec: &ExecConfig,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"outcome\": \"{:?}\",\n", r.outcome));
+    s.push_str(&format!("  \"cycles\": {},\n", r.makespan));
+    s.push_str(&format!("  \"state_hash\": \"{:016x}\",\n", r.state_hash));
+    s.push_str(&format!("  \"parallelism\": {},\n", exec.parallelism));
+    let out: Vec<String> = r
+        .output
+        .iter()
+        .map(|(t, v)| format!("[{}, {}]", t.0, v))
+        .collect();
+    s.push_str(&format!("  \"output\": [{}],\n", out.join(", ")));
+    s.push_str(&format!(
+        "  \"stats\": {{ \"instrs\": {}, \"mem_ops\": {}, \"sync_ops\": {}, \"syscalls\": {}, \"threads\": {} }},\n",
+        r.stats.instrs, r.stats.mem_ops, r.stats.sync_ops, r.stats.syscalls, r.stats.threads
+    ));
+    let vm = &r.stats.vm;
+    s.push_str(&format!(
+        "  \"vm\": {{ \"fused_ops\": {}, \"batch_runs\": {}, \"batched_ops\": {}, \
+         \"spec_rounds\": {}, \"spec_segments\": {}, \"spec_ops\": {}, \
+         \"spec_discards\": {}, \"par_rounds\": {} }},\n",
+        vm.fused_ops,
+        vm.batch_runs,
+        vm.batched_ops,
+        vm.spec_rounds,
+        vm.spec_segments,
+        vm.spec_ops,
+        vm.spec_discards,
+        vm.par_rounds
+    ));
+    let fusion = chimera_runtime::fusion_summary(program);
+    s.push_str(&format!(
+        "  \"fusion\": {{ \"fused_sites\": {}, \"patterns\": [",
+        fusion.fused_sites
+    ));
+    let pats: Vec<String> = fusion
+        .rows
+        .iter()
+        .map(|(a, b, pairs, fused)| {
+            format!("{{ \"pair\": \"{a}+{b}\", \"static_pairs\": {pairs}, \"fused_sites\": {fused} }}")
+        })
+        .collect();
+    s.push_str(&pats.join(", "));
+    s.push_str("] }\n}\n");
+    s
 }
 
 fn report_exec(r: &chimera_runtime::ExecResult) {

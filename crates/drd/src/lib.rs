@@ -167,6 +167,100 @@ pub struct DrdRun {
     pub report: DrfReport,
 }
 
+impl DrdRun {
+    /// Export a segment certificate from a race-free detected run, or
+    /// `None` if any race was observed (a racy execution certifies
+    /// nothing: its segment order is schedule-dependent).
+    pub fn certificate(&self, config: &ExecConfig) -> Option<SegmentCertificate> {
+        if !self.report.is_race_free() {
+            return None;
+        }
+        Some(SegmentCertificate::new(config.seed, &self.result))
+    }
+}
+
+/// A determinism certificate exported from a race-free detected run.
+///
+/// The runtime's segment-round engine commits race-free thread segments
+/// out of program order (and, under `ExecConfig::parallelism > 1`, on
+/// separate OS threads) on the strength of a per-round dynamic
+/// race-freedom check. This certificate is the whole-execution analogue
+/// that the detector exports offline: it attests that one full execution
+/// under `seed` was data-race-free, and binds the attested final state so
+/// any re-execution claiming to honor the certificate — serial, fused,
+/// batched, or parallel — can be checked against it with [`Self::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentCertificate {
+    /// The scheduler seed the certified execution ran under.
+    pub seed: u64,
+    /// Threads that participated in the certified execution.
+    pub threads: u64,
+    /// Instructions retired in the certified execution.
+    pub instrs: u64,
+    /// Synchronization operations committed (segment boundaries).
+    pub sync_ops: u64,
+    /// Final memory state hash of the certified execution.
+    pub state_hash: u64,
+    /// FNV-1a digest binding all of the above.
+    pub digest: u64,
+}
+
+impl SegmentCertificate {
+    /// Build a certificate over a (race-free) execution result.
+    fn new(seed: u64, result: &ExecResult) -> SegmentCertificate {
+        let threads = result.stats.threads;
+        let (instrs, sync_ops) = (result.stats.instrs, result.stats.sync_ops);
+        SegmentCertificate {
+            seed,
+            threads,
+            instrs,
+            sync_ops,
+            state_hash: result.state_hash,
+            digest: Self::digest_of(seed, threads, instrs, sync_ops, result.state_hash),
+        }
+    }
+
+    fn digest_of(seed: u64, threads: u64, instrs: u64, sync_ops: u64, state_hash: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [seed, threads, instrs, sync_ops, state_hash] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Check a re-execution against this certificate: it must retire the
+    /// same instruction count over the same threads and segment
+    /// boundaries and reach the same final state. This is how a parallel
+    /// (`ExecConfig::parallelism > 1`) run proves it replayed the
+    /// certified serial execution bit-identically.
+    pub fn verify(&self, result: &ExecResult) -> bool {
+        result.state_hash == self.state_hash
+            && result.stats.instrs == self.instrs
+            && result.stats.sync_ops == self.sync_ops
+            && result.stats.threads == self.threads
+            && self.digest
+                == Self::digest_of(
+                    self.seed,
+                    self.threads,
+                    self.instrs,
+                    self.sync_ops,
+                    self.state_hash,
+                )
+    }
+
+    /// Serialize for export (the repo convention is hand-built JSON).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"seed\": {}, \"threads\": {}, \"instrs\": {}, \"sync_ops\": {}, \
+             \"state_hash\": \"{:016x}\", \"digest\": \"{:016x}\" }}",
+            self.seed, self.threads, self.instrs, self.sync_ops, self.state_hash, self.digest
+        )
+    }
+}
+
 /// Execute `program` under the default (flat) interpreter with the race
 /// detector attached.
 pub fn detect(program: &Program, config: &ExecConfig) -> DrdRun {
@@ -368,6 +462,68 @@ mod tests {
         assert_eq!(a.races, 6);
         assert_eq!(a.racy_accesses().len(), 4);
         assert!(!a.is_race_free());
+    }
+
+    #[test]
+    fn race_free_run_exports_certificate_verifying_parallel_replay() {
+        let p = compile(
+            "int g; lock_t m;
+             void w(int v) { int i;
+                 for (i = 0; i < 30; i = i + 1) {
+                     lock(&m); g = g + v; unlock(&m); } }
+             int main() { int t; int u;
+                 t = spawn(w, 1); u = spawn(w, 2); w(4);
+                 join(t); join(u); print(g); return 0; }",
+        )
+        .unwrap();
+        let cfg = ExecConfig {
+            seed: 13,
+            ..ExecConfig::default()
+        };
+        let run = detect(&p, &cfg);
+        assert!(run.report.is_race_free(), "{:?}", run.report.pairs);
+        let cert = run.certificate(&cfg).expect("race-free run must certify");
+        assert_eq!(cert.seed, 13);
+        assert!(cert.verify(&run.result));
+
+        // A parallel re-execution must replay the certified execution
+        // bit-identically — same state hash, counts, segment boundaries.
+        let par = chimera_runtime::execute(
+            &p,
+            &ExecConfig {
+                parallelism: 4,
+                ..cfg
+            },
+        );
+        assert!(cert.verify(&par), "parallel run diverged from certificate");
+
+        // And a different program's result must not verify.
+        let other = compile(
+            "int main() { print(1); return 0; }",
+        )
+        .unwrap();
+        let r2 = chimera_runtime::execute(&other, &cfg);
+        assert!(!cert.verify(&r2));
+
+        let json = cert.to_json();
+        assert!(json.contains("\"digest\""), "{json}");
+        assert!(json.contains(&format!("{:016x}", cert.state_hash)), "{json}");
+    }
+
+    #[test]
+    fn racy_run_exports_no_certificate() {
+        let p = compile(
+            "int g;
+             void w(int v) { int i; int x;
+                 for (i = 0; i < 20; i = i + 1) { x = g; g = x + v; } }
+             int main() { int t; t = spawn(w, 1); w(2); join(t);
+                          print(g); return 0; }",
+        )
+        .unwrap();
+        let cfg = ExecConfig::default();
+        let run = detect(&p, &cfg);
+        assert!(!run.report.is_race_free());
+        assert!(run.certificate(&cfg).is_none());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod sync;
 pub mod world;
 
 pub use cost::{CostModel, Jitter};
+pub use flat::{fusion_summary, FusionSummary};
 pub use parallel::{par_map, serial_requested};
 pub use event::{
     Event, EventKind, EventMask, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId,
@@ -53,5 +54,5 @@ pub use machine::{
 pub use probe::SingleHolderProbe;
 pub use sched::{SchedStrategy, Scheduler};
 pub use memory::{Memory, RegionKind};
-pub use stats::ExecStats;
+pub use stats::{ExecStats, VmPerf};
 pub use world::{IoModel, World};

@@ -30,8 +30,9 @@ use crate::cost::{CostModel, Jitter};
 use crate::event::{
     Event, EventKind, EventMask, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId,
 };
-use crate::flat::{flatten, static_costs, ArgRange, FlatOp, FlatProgram};
-use crate::memory::{Memory, RegionKind};
+use crate::flat::{flatten, static_costs, ArgRange, FlatFunc, FlatOp, FlatProgram};
+use crate::memory::{MemSnap, Memory, RegionKind};
+use crate::parallel::{par_map, serial_requested};
 use crate::sched::SchedStrategy;
 use crate::stats::ExecStats;
 use crate::sync::{BlockReason, SyncTables, WeakHolder};
@@ -87,6 +88,15 @@ pub struct ExecConfig {
     /// loop's burst/ready-queue fast path; adversarial strategies run
     /// both interpreter modes through one shared per-step loop.
     pub sched: SchedStrategy,
+    /// OS worker threads for the DRF-certified parallel flat mode: `<= 1`
+    /// is serial; larger values let the flat scheduler dispatch
+    /// speculative hot segments of distinct threads across OS threads via
+    /// [`crate::parallel::par_map`], committing only rounds whose
+    /// read/write sets are pairwise disjoint (everything else re-runs
+    /// serially), so results stay bit-identical to serial flat. Only
+    /// engages when every batch-legality condition holds and jitter is
+    /// off; `CHIMERA_SERIAL=1` forces serial.
+    pub parallelism: u32,
 }
 
 impl Default for ExecConfig {
@@ -106,6 +116,7 @@ impl Default for ExecConfig {
             collect_trace: false,
             count_blocks: false,
             sched: SchedStrategy::ClockJitter,
+            parallelism: 1,
         }
     }
 }
@@ -291,6 +302,651 @@ struct Thr {
     input_seq: u64,
 }
 
+/// Shift the front ready-queue key right to its sorted position after the
+/// front thread's clock advanced (the queue is tiny — one entry per ready
+/// thread — so a linear shift beats anything clever).
+#[inline]
+fn reposition_front(queue: &mut [(u64, u32)], k: (u64, u32)) {
+    let mut i = 0;
+    while i + 1 < queue.len() && queue[i + 1] < k {
+        queue[i] = queue[i + 1];
+        i += 1;
+    }
+    queue[i] = k;
+}
+
+/// Hot-op budget for one speculative segment (per thread, per round). A
+/// fused pair may straddle the cap, so round step-budget accounting
+/// reserves `SEG_CAP + 2` steps per segment.
+const SEG_CAP: u64 = 2048;
+
+/// Round read/write sets are tracked at cell granularity (`1 <<
+/// PAGE_SHIFT` cells per tracking page). Coarser pages would shrink the
+/// stamp arrays, but the benched workloads interleave per-thread data at
+/// cell distance (radix's 16-cell `rank` slices, ocean's `residual[id]`),
+/// so anything coarser than a cell false-shares and discards rounds that
+/// are genuinely race-free. Stamping is one compare per access (plus two
+/// writes on first touch), which the saved scheduling work amortizes.
+const PAGE_SHIFT: u32 = 0;
+
+/// Backoff bounds for the round engine: a failed or trivial round puts
+/// attempts on cooldown for `penalty` outer-loop iterations and doubles
+/// the penalty up to the cap; a productive commit resets it. Keeps the
+/// engine quiet through sync-heavy phases where rounds cannot pay off.
+const SPEC_PENALTY_MIN: u64 = 16;
+const SPEC_PENALTY_MAX: u64 = 65_536;
+
+/// Memory-access seam of the speculative segment executor
+/// ([`run_segment`]): serial rounds run segments directly against
+/// [`Memory`] with an undo log; parallel rounds run them against a frozen
+/// [`MemSnap`] with a private write overlay. Trap details are
+/// deliberately dropped — any speculative trap discards the whole round,
+/// and the exact engine then reproduces the trap at its canonical point
+/// with the precise message.
+trait SegMem {
+    fn load(&mut self, addr: i64) -> Result<i64, ()>;
+    fn store(&mut self, addr: i64, val: i64) -> Result<(), ()>;
+}
+
+/// Serial segment memory: writes go straight to [`Memory`] with the old
+/// value pushed onto the round's undo log; read/write pages are stamped
+/// into the owning thread's epoch arrays (first touch per round also
+/// records the page in the touched list, which is what validation and
+/// rollback iterate).
+struct DirectSeg<'a> {
+    mem: &'a mut Memory,
+    undo: &'a mut Vec<(i64, i64)>,
+    epoch: u32,
+    read_epoch: &'a mut [u32],
+    write_epoch: &'a mut [u32],
+    touched_read: &'a mut Vec<u32>,
+    touched_write: &'a mut Vec<u32>,
+}
+
+impl SegMem for DirectSeg<'_> {
+    #[inline]
+    fn load(&mut self, addr: i64) -> Result<i64, ()> {
+        let v = self.mem.load(addr).map_err(drop)?;
+        // A successful access proves `1 <= addr < frontier`, so the page
+        // index is in range for the stamp arrays sized at round start.
+        let page = (addr as u64 >> PAGE_SHIFT) as usize;
+        if self.read_epoch[page] != self.epoch {
+            self.read_epoch[page] = self.epoch;
+            self.touched_read.push(page as u32);
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, val: i64) -> Result<(), ()> {
+        let old = self.mem.swap(addr, val).map_err(drop)?;
+        self.undo.push((addr, old));
+        let page = (addr as u64 >> PAGE_SHIFT) as usize;
+        if self.write_epoch[page] != self.epoch {
+            self.write_epoch[page] = self.epoch;
+            self.touched_write.push(page as u32);
+        }
+        Ok(())
+    }
+}
+
+/// Parallel segment memory: reads prefer the segment's own overlay, then
+/// the frozen snapshot; writes never leave the overlay. Touched pages are
+/// pushed eagerly (duplicates and all) and sorted/deduplicated once after
+/// the segment. Reads satisfied by the overlay are *not* recorded: a
+/// value the segment wrote itself carries no cross-thread dependency, and
+/// any other thread touching that page already conflicts with the
+/// recorded write.
+struct OverlaySeg<'a> {
+    snap: MemSnap<'a>,
+    writes: std::collections::HashMap<i64, i64>,
+    read_pages: Vec<u32>,
+    write_pages: Vec<u32>,
+}
+
+impl SegMem for OverlaySeg<'_> {
+    #[inline]
+    fn load(&mut self, addr: i64) -> Result<i64, ()> {
+        if let Some(&v) = self.writes.get(&addr) {
+            return Ok(v);
+        }
+        let v = self.snap.load(addr).map_err(drop)?;
+        self.read_pages.push((addr as u64 >> PAGE_SHIFT) as u32);
+        Ok(v)
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, val: i64) -> Result<(), ()> {
+        self.snap.check_writable(addr).map_err(drop)?;
+        self.writes.insert(addr, val);
+        self.write_pages.push((addr as u64 >> PAGE_SHIFT) as u32);
+        Ok(())
+    }
+}
+
+/// Why a speculative segment stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum SegEnd {
+    /// Reached a non-batchable op (sync, call, return, heap, I/O, weak).
+    #[default]
+    Cold,
+    /// Retired [`SEG_CAP`] ops without reaching a scheduling point.
+    Cap,
+    /// Crossed the round's cold-op bound.
+    Bound,
+    /// A constituent trapped; the round must be discarded so the exact
+    /// engine reproduces the trap at its canonical point.
+    Trap,
+}
+
+/// One segment's accounting, returned by [`run_segment`].
+#[derive(Debug, Clone, Copy, Default)]
+struct SegRun {
+    /// Ops retired (each counts one step and one instruction).
+    ops: u64,
+    /// Fused superinstructions dispatched.
+    fused: u64,
+    /// Loads + stores retired.
+    mem_ops: u64,
+    /// The thread clock immediately before the last retired op — the
+    /// op's scheduler key, which round legality compares against the
+    /// earliest cold-op key (meaningless when `ops == 0`).
+    last_pre: u64,
+    end: SegEnd,
+}
+
+/// Immutable inputs of one segment run.
+struct SegCtx<'a> {
+    func: &'a FlatFunc,
+    fcosts: &'a [u64],
+    /// Global region base addresses ([`Memory::global_bases`], static).
+    globals: &'a [i64],
+    id: u32,
+    /// Earliest scheduler key of a ready thread already sitting at a cold
+    /// op when the round began: no segment op's key may reach it, because
+    /// that cold op's memory footprint is not validated against segments.
+    bound: Option<(u64, u32)>,
+}
+
+/// Execute one speculative hot segment: retire thread-local ops from the
+/// fused sidecar arena until a cold op, the cap, the round bound, or a
+/// trap. Only legal with jitter off — commits draw no RNG, so per-thread
+/// clocks and icounts are independent of cross-thread interleaving, which
+/// is what lets the round engine reorder conflict-free segments without
+/// observable effect. Fused pairs re-check the bound between constituents
+/// (a mid-pair stop rests at `pc + 1`, where the sidecar holds the plain
+/// second op); the cap is only checked between whole ops.
+fn run_segment<M: SegMem>(
+    ctx: &SegCtx<'_>,
+    frame: &mut Frame,
+    clock: &mut u64,
+    icount: &mut u64,
+    mem: &mut M,
+) -> SegRun {
+    let mut run = SegRun::default();
+    // The bound is only re-checked after each commit, so a thread whose
+    // starting key already reaches it must not retire anything.
+    if let Some(b) = ctx.bound {
+        if (*clock, ctx.id) >= b {
+            run.end = SegEnd::Bound;
+            return run;
+        }
+    }
+    macro_rules! commit {
+        ($cost:expr) => {{
+            run.ops += 1;
+            run.last_pre = *clock;
+            *icount += 1;
+            *clock += $cost;
+        }};
+    }
+    macro_rules! bound_check {
+        () => {{
+            if let Some(b) = ctx.bound {
+                if (*clock, ctx.id) >= b {
+                    run.end = SegEnd::Bound;
+                    break;
+                }
+            }
+        }};
+    }
+    loop {
+        let pc = frame.pc as usize;
+        match ctx.func.fused[pc] {
+            FlatOp::Copy { dst, src } => {
+                frame.regs[dst.index()] = frame.get(src);
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::UnOp { dst, op: uop, src } => {
+                let v = frame.get(src);
+                frame.regs[dst.index()] = match uop {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                };
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::BinOp { dst, op: bop, a, b } => {
+                let Some(r) = eval_binop(bop, frame.get(a), frame.get(b)) else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                frame.regs[dst.index()] = r;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::AddrOfGlobal {
+                dst,
+                global,
+                offset,
+            } => {
+                frame.regs[dst.index()] = ctx.globals[global.index()] + frame.get(offset);
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::AddrOfSlot {
+                dst,
+                slot_off,
+                offset,
+            } => {
+                let Some(base) = frame.frame_base else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                frame.regs[dst.index()] = base + slot_off + frame.get(offset);
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::AddrOfFunc { dst, func } => {
+                frame.regs[dst.index()] = FUNC_PTR_BASE + func.0 as i64;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::PtrAdd { dst, base, offset } => {
+                frame.regs[dst.index()] = frame.get(base).wrapping_add(frame.get(offset));
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::Load { dst, addr, .. } => match mem.load(frame.get(addr)) {
+                Ok(v) => {
+                    frame.regs[dst.index()] = v;
+                    frame.pc += 1;
+                    run.mem_ops += 1;
+                    commit!(ctx.fcosts[pc]);
+                }
+                Err(()) => {
+                    run.end = SegEnd::Trap;
+                    break;
+                }
+            },
+            FlatOp::Store { addr, val, .. } => {
+                match mem.store(frame.get(addr), frame.get(val)) {
+                    Ok(()) => {
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc]);
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::Jump { target_pc, .. } => {
+                frame.pc = target_pc;
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::Branch {
+                cond,
+                then_pc,
+                else_pc,
+                ..
+            } => {
+                frame.pc = if frame.get(cond) != 0 { then_pc } else { else_pc };
+                commit!(ctx.fcosts[pc]);
+            }
+            FlatOp::FusedGlobalLoad {
+                addr_dst,
+                global,
+                offset,
+                dst,
+            } => {
+                let a = ctx.globals[global.index()] + frame.get(offset);
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                match mem.load(a) {
+                    Ok(v) => {
+                        frame.regs[dst.index()] = v;
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedGlobalStore {
+                addr_dst,
+                global,
+                offset,
+                val,
+            } => {
+                let a = ctx.globals[global.index()] + frame.get(offset);
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                let v = frame.get(val);
+                match mem.store(a, v) {
+                    Ok(()) => {
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedSlotLoad {
+                addr_dst,
+                slot_off,
+                offset,
+                dst,
+            } => {
+                let Some(base) = frame.frame_base else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                let a = base + slot_off + frame.get(offset);
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                match mem.load(a) {
+                    Ok(v) => {
+                        frame.regs[dst.index()] = v;
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedSlotStore {
+                addr_dst,
+                slot_off,
+                offset,
+                val,
+            } => {
+                let Some(base) = frame.frame_base else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                let a = base + slot_off + frame.get(offset);
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                let v = frame.get(val);
+                match mem.store(a, v) {
+                    Ok(()) => {
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedPtrLoad {
+                addr_dst,
+                base,
+                offset,
+                dst,
+            } => {
+                let a = frame.get(base).wrapping_add(frame.get(offset));
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                match mem.load(a) {
+                    Ok(v) => {
+                        frame.regs[dst.index()] = v;
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedPtrStore {
+                addr_dst,
+                base,
+                offset,
+                val,
+            } => {
+                let a = frame.get(base).wrapping_add(frame.get(offset));
+                frame.regs[addr_dst.index()] = a;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                let v = frame.get(val);
+                match mem.store(a, v) {
+                    Ok(()) => {
+                        frame.pc += 1;
+                        run.mem_ops += 1;
+                        commit!(ctx.fcosts[pc + 1]);
+                        run.fused += 1;
+                    }
+                    Err(()) => {
+                        run.end = SegEnd::Trap;
+                        break;
+                    }
+                }
+            }
+            FlatOp::FusedCmpBranch {
+                dst,
+                op: bop,
+                a,
+                b,
+                then_pc,
+                else_pc,
+            } => {
+                let Some(r) = eval_binop(bop, frame.get(a), frame.get(b)) else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                frame.regs[dst.index()] = r;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                frame.pc = if r != 0 { then_pc } else { else_pc };
+                commit!(ctx.fcosts[pc + 1]);
+                run.fused += 1;
+            }
+            FlatOp::FusedOpAssign {
+                tmp,
+                op: bop,
+                a,
+                b,
+                dst,
+            } => {
+                let Some(r) = eval_binop(bop, frame.get(a), frame.get(b)) else {
+                    run.end = SegEnd::Trap;
+                    break;
+                };
+                frame.regs[tmp.index()] = r;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc]);
+                bound_check!();
+                frame.regs[dst.index()] = r;
+                frame.pc += 1;
+                commit!(ctx.fcosts[pc + 1]);
+                run.fused += 1;
+            }
+            // Call/Return, sync, heap, I/O and weak ops end the segment.
+            _ => {
+                run.end = SegEnd::Cold;
+                break;
+            }
+        }
+        bound_check!();
+        if run.ops >= SEG_CAP {
+            run.end = SegEnd::Cap;
+            break;
+        }
+    }
+    run
+}
+
+/// `BinOp` evaluation shared by the speculative executor; `None` means
+/// the op traps (division or remainder by zero).
+#[inline]
+fn eval_binop(bop: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match bop {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+        BinOp::BitAnd => x & y,
+        BinOp::BitOr => x | y,
+        BinOp::BitXor => x ^ y,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::LogAnd => ((x != 0) && (y != 0)) as i64,
+        BinOp::LogOr => ((x != 0) || (y != 0)) as i64,
+    })
+}
+
+/// Per-execution state of the speculative segment-round engine: page
+/// epoch stamps and touched-page lists per thread slot, the round-global
+/// undo log, reusable per-segment snapshots, and the deterministic
+/// backoff that keeps round attempts away from phases where they cannot
+/// pay off.
+#[derive(Default)]
+struct SpecState {
+    /// Current round number; a page stamp equal to `epoch` marks a page
+    /// as touched this round (stamp arrays are never cleared).
+    epoch: u32,
+    /// Per thread-slot, per-page stamps (lazily sized each round).
+    read_epoch: Vec<Vec<u32>>,
+    write_epoch: Vec<Vec<u32>>,
+    /// Pages each thread slot touched this round (cleared per segment).
+    touched_read: Vec<Vec<u32>>,
+    touched_write: Vec<Vec<u32>>,
+    /// Round-global store log `(addr, old value)`; per-segment ranges are
+    /// delimited by [`SegSnap::undo_start`].
+    undo: Vec<(i64, i64)>,
+    /// Cached copy of [`Memory::global_bases`] (static after load); owned
+    /// here so segment contexts can hold it alongside `&mut Memory`.
+    globals: Vec<i64>,
+    /// Reusable per-segment snapshots and results (one per participant).
+    snaps: Vec<SegSnap>,
+    /// Outer-loop iterations to wait before the next round attempt.
+    cooldown: u64,
+    /// Cooldown charged by the next failed or trivial round (doubles up
+    /// to a cap, resets on a productive commit).
+    penalty: u64,
+}
+
+/// One participating thread's rollback snapshot and segment result.
+#[derive(Default)]
+struct SegSnap {
+    tix: usize,
+    pc: u32,
+    clock: u64,
+    icount: u64,
+    regs: Vec<i64>,
+    undo_start: usize,
+    run: SegRun,
+}
+
+/// Do two sorted, deduplicated page lists share an element?
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Can the segment executor retire this sidecar op? (Mirrors the arms of
+/// [`run_segment`]; used to locate the round's cold-op bound.)
+fn op_is_hot(op: &FlatOp) -> bool {
+    matches!(
+        op,
+        FlatOp::Copy { .. }
+            | FlatOp::UnOp { .. }
+            | FlatOp::BinOp { .. }
+            | FlatOp::AddrOfGlobal { .. }
+            | FlatOp::AddrOfSlot { .. }
+            | FlatOp::AddrOfFunc { .. }
+            | FlatOp::PtrAdd { .. }
+            | FlatOp::Load { .. }
+            | FlatOp::Store { .. }
+            | FlatOp::Jump { .. }
+            | FlatOp::Branch { .. }
+            | FlatOp::FusedGlobalLoad { .. }
+            | FlatOp::FusedGlobalStore { .. }
+            | FlatOp::FusedSlotLoad { .. }
+            | FlatOp::FusedSlotStore { .. }
+            | FlatOp::FusedPtrLoad { .. }
+            | FlatOp::FusedPtrStore { .. }
+            | FlatOp::FusedCmpBranch { .. }
+            | FlatOp::FusedOpAssign { .. }
+    )
+}
+
+/// Refresh every ready-queue key from its thread's clock and restore sort
+/// order (a committed round advances many clocks at once).
+fn refresh_queue_keys(queue: &mut [(u64, u32)], threads: &[Thr]) {
+    for k in queue.iter_mut() {
+        k.0 = threads[k.1 as usize].clock;
+    }
+    queue.sort_unstable();
+}
+
 struct Machine<'p> {
     program: &'p Program,
     config: &'p ExecConfig,
@@ -331,6 +987,8 @@ struct Machine<'p> {
     /// Running FNV-1a digest of schedule-determined state (see
     /// [`Machine::fold_ordered`]).
     ckpt_digest: u64,
+    /// Speculative segment-round engine state (flat queue mode only).
+    spec: SpecState,
 }
 
 /// One FNV-1a fold of a 64-bit word (the checkpoint digest step).
@@ -400,6 +1058,10 @@ impl<'p> Machine<'p> {
             ckpt_interval: 0,
             ordered_events: 0,
             ckpt_digest: 0xcbf2_9ce4_8422_2325,
+            spec: SpecState {
+                penalty: SPEC_PENALTY_MIN,
+                ..SpecState::default()
+            },
         };
         let main = program.main();
         m.spawn_thread(main, &[], 0);
@@ -579,8 +1241,9 @@ impl<'p> Machine<'p> {
         }
         // Non-baseline strategies drive both modes through one shared
         // per-step loop, so a (strategy, seed) pair is bit-identical
-        // across interpreters by construction.
-        if self.config.sched != SchedStrategy::ClockJitter {
+        // across interpreters by construction (and none of the flat
+        // fast paths — queue, batch, segment rounds — ever engage).
+        if !self.config.sched.is_baseline() {
             return self.run_strategy(sup);
         }
         match self.mode {
@@ -749,6 +1412,15 @@ impl<'p> Machine<'p> {
         // minimum, so the schedule is bit-identical to the reference scan.
         let queue_mode =
             !(injects || (self.config.timeout_enabled && self.flat.has_weak_ops));
+        // Batch commit (DESIGN.md §13): when the supervisor also masks out
+        // per-op Load/Store happens-before events, runs of thread-local hot
+        // ops have *no* per-op obligations beyond cost/clock/step
+        // accounting, so the queue schedule can be driven from a tight
+        // inner loop over the fused sidecar arena instead of the
+        // step-dispatch path.
+        let batch_ok = queue_mode
+            && !self.wants_hb(EventKind::Load)
+            && !self.wants_hb(EventKind::Store);
         let mut queue: Vec<(u64, u32)> = Vec::new();
         loop {
             if let Some(outcome) = self.finished.take() {
@@ -819,6 +1491,12 @@ impl<'p> Machine<'p> {
                 }
                 queue.sort_unstable();
                 self.sched_dirty = false;
+                if batch_ok {
+                    if let Some(outcome) = self.run_queue_hot(sup, &mut queue) {
+                        return self.finish(outcome);
+                    }
+                    continue;
+                }
                 while let Some(&(_, id)) = queue.first() {
                     let next = self.step_flat(sup, ThreadId(id));
                     self.steps += 1;
@@ -837,13 +1515,7 @@ impl<'p> Machine<'p> {
                     // Only the stepped thread's clock moved: shift its key
                     // right to its new sorted position (the queue is tiny —
                     // one entry per ready thread).
-                    let k = (clock, id);
-                    let mut i = 0;
-                    while i + 1 < queue.len() && queue[i + 1] < k {
-                        queue[i] = queue[i + 1];
-                        i += 1;
-                    }
-                    queue[i] = k;
+                    reposition_front(&mut queue, (clock, id));
                 }
                 continue;
             }
@@ -872,6 +1544,880 @@ impl<'p> Machine<'p> {
                 }
             }
         }
+    }
+
+    /// The batch-commit engine: drives the queue-mode schedule from a
+    /// tight cross-thread loop that dispatches the fused sidecar arena
+    /// and accumulates cost/clock/step accounting in locals, written back
+    /// once on exit.
+    ///
+    /// Legality (DESIGN.md §13): queue mode already excludes supervisor
+    /// injection and weak-lock timeouts, and the caller additionally
+    /// requires that per-op `Load`/`Store` happens-before events are
+    /// masked out. Every op dispatched inline here is thread-local and
+    /// non-blocking (sync, I/O, calls, heap, weak ops and returns fall
+    /// out to [`Self::step_flat`]), so a retiring hot op's only
+    /// obligations are the commit itself — identical RNG draws included —
+    /// the step budget, and the scheduling bound against the runner-up
+    /// queue key. `pending_reacquire` is provably empty in queue mode
+    /// (forced releases require injection or timeouts), event emission
+    /// and checkpoint folds are inert, and block counts are maintained
+    /// inline. The observable execution is therefore bit-identical to
+    /// single-step dispatch; only the [`VmPerf`] strategy counters
+    /// differ.
+    ///
+    /// Returns `Some(outcome)` when the run ends the execution (step
+    /// limit); `None` hands control back to the scheduler loop (queue
+    /// empty, `finished` set, or `sched_dirty` after a cold op).
+    fn run_queue_hot(
+        &mut self,
+        sup: &mut dyn Supervisor,
+        queue: &mut Vec<(u64, u32)>,
+    ) -> Option<Outcome> {
+        enum RunEnd {
+            /// Next op is not batchable: single-step it at the dispatcher.
+            Cold,
+            /// The thread's clock crossed the runner-up key; payload is
+            /// the new clock for the queue reposition.
+            Yield(u64),
+            /// A constituent trapped.
+            Trap(String),
+            /// Step budget exhausted (the op at the limit has committed).
+            Limit,
+        }
+
+        let jit_period = self.config.jitter.period;
+        let jit_magnitude = self.config.jitter.magnitude;
+        let count_blocks = self.config.count_blocks;
+        let max_steps = self.config.max_steps;
+        let mut steps = self.steps;
+        let mut instrs = 0u64;
+        let mut mem_ops = 0u64;
+        let mut fused_ops = 0u64;
+        let mut batch_runs = 0u64;
+        let mut batched_ops = 0u64;
+        // Speculative rounds additionally require jitter off (hot commits
+        // must draw no RNG, or run-ahead would reorder the stream) and
+        // block counting off (hot control flow must stay write-free
+        // outside thread-local state).
+        let rounds_ok = jit_period == 0 && !count_blocks;
+
+        let result = loop {
+            if rounds_ok && queue.len() >= 2 {
+                if self.spec.cooldown > 0 {
+                    self.spec.cooldown -= 1;
+                } else if self.try_round(queue, &mut steps) {
+                    continue;
+                }
+            }
+            let Some(&(_, id)) = queue.first() else {
+                break None;
+            };
+            let tix = id as usize;
+            debug_assert!(
+                self.threads[tix].pending_reacquire.is_empty(),
+                "queue mode excludes forced releases"
+            );
+            let run_start = batched_ops;
+            // One uninterrupted same-thread run. Disjoint field borrows:
+            // the thread's frame/clock/icount mutably, everything else
+            // (`flat`, `costs`, `mem`, `rng`, `block_counts`) through
+            // separate fields of `self`.
+            let end = {
+                let Thr {
+                    frames,
+                    clock,
+                    icount,
+                    ..
+                } = &mut self.threads[tix];
+                let frame = frames.last_mut().expect("live thread has frames");
+                let fidx = frame.func.index();
+                let func = &self.flat.funcs[fidx];
+                let fcosts = &self.costs[fidx];
+                let bound = queue.get(1).copied();
+
+                // One constituent's commit: identical arithmetic and RNG
+                // draw order to `commit_ok`, against the hoisted locals.
+                macro_rules! commit {
+                    ($cost:expr) => {{
+                        instrs += 1;
+                        let mut total = $cost;
+                        if jit_period > 0 && self.rng.gen_range(0..jit_period) == 0 {
+                            total += self.rng.gen_range(0..=jit_magnitude);
+                        }
+                        *icount += 1;
+                        *clock += total;
+                        steps += 1;
+                        batched_ops += 1;
+                    }};
+                }
+                // Post-commit scheduling checks, also applied *between*
+                // the two constituents of a fused op (a mid-pair yield
+                // resumes at `pc + 1`, where the sidecar holds the plain
+                // second op).
+                macro_rules! recheck {
+                    () => {{
+                        if steps > max_steps {
+                            break RunEnd::Limit;
+                        }
+                        if let Some(b) = bound {
+                            if (*clock, id) >= b {
+                                break RunEnd::Yield(*clock);
+                            }
+                        }
+                    }};
+                }
+                macro_rules! binop_eval {
+                    ($bop:expr, $x:expr, $y:expr) => {{
+                        let (x, y) = ($x, $y);
+                        match $bop {
+                            BinOp::Add => x.wrapping_add(y),
+                            BinOp::Sub => x.wrapping_sub(y),
+                            BinOp::Mul => x.wrapping_mul(y),
+                            BinOp::Div => {
+                                if y == 0 {
+                                    break RunEnd::Trap("division by zero".into());
+                                }
+                                x.wrapping_div(y)
+                            }
+                            BinOp::Rem => {
+                                if y == 0 {
+                                    break RunEnd::Trap("remainder by zero".into());
+                                }
+                                x.wrapping_rem(y)
+                            }
+                            BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                            BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                            BinOp::BitAnd => x & y,
+                            BinOp::BitOr => x | y,
+                            BinOp::BitXor => x ^ y,
+                            BinOp::Lt => (x < y) as i64,
+                            BinOp::Le => (x <= y) as i64,
+                            BinOp::Gt => (x > y) as i64,
+                            BinOp::Ge => (x >= y) as i64,
+                            BinOp::Eq => (x == y) as i64,
+                            BinOp::Ne => (x != y) as i64,
+                            BinOp::LogAnd => ((x != 0) && (y != 0)) as i64,
+                            BinOp::LogOr => ((x != 0) || (y != 0)) as i64,
+                        }
+                    }};
+                }
+
+                loop {
+                    let pc = frame.pc as usize;
+                    match func.fused[pc] {
+                        FlatOp::Copy { dst, src } => {
+                            frame.regs[dst.index()] = frame.get(src);
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::UnOp { dst, op: uop, src } => {
+                            let v = frame.get(src);
+                            frame.regs[dst.index()] = match uop {
+                                UnOp::Neg => v.wrapping_neg(),
+                                UnOp::Not => (v == 0) as i64,
+                            };
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::BinOp { dst, op: bop, a, b } => {
+                            let r = binop_eval!(bop, frame.get(a), frame.get(b));
+                            frame.regs[dst.index()] = r;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::AddrOfGlobal {
+                            dst,
+                            global,
+                            offset,
+                        } => {
+                            let base = self.mem.global_base(global);
+                            frame.regs[dst.index()] = base + frame.get(offset);
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::AddrOfSlot {
+                            dst,
+                            slot_off,
+                            offset,
+                        } => {
+                            let Some(base) = frame.frame_base else {
+                                break RunEnd::Trap("frame has no slot area".into());
+                            };
+                            frame.regs[dst.index()] = base + slot_off + frame.get(offset);
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::AddrOfFunc { dst, func } => {
+                            frame.regs[dst.index()] = FUNC_PTR_BASE + func.0 as i64;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::PtrAdd { dst, base, offset } => {
+                            frame.regs[dst.index()] =
+                                frame.get(base).wrapping_add(frame.get(offset));
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::Load { dst, addr, .. } => {
+                            let a = frame.get(addr);
+                            match self.mem.load(a) {
+                                Ok(v) => {
+                                    frame.regs[dst.index()] = v;
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc]);
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::Store { addr, val, .. } => {
+                            let a = frame.get(addr);
+                            let v = frame.get(val);
+                            match self.mem.store(a, v) {
+                                Ok(()) => {
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc]);
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::Jump {
+                            target_pc,
+                            target_block,
+                        } => {
+                            frame.pc = target_pc;
+                            if count_blocks {
+                                self.block_counts[fidx][target_block.index()] += 1;
+                            }
+                            commit!(fcosts[pc]);
+                        }
+                        FlatOp::Branch {
+                            cond,
+                            then_pc,
+                            then_block,
+                            else_pc,
+                            else_block,
+                        } => {
+                            let (t, b) = if frame.get(cond) != 0 {
+                                (then_pc, then_block)
+                            } else {
+                                (else_pc, else_block)
+                            };
+                            frame.pc = t;
+                            if count_blocks {
+                                self.block_counts[fidx][b.index()] += 1;
+                            }
+                            commit!(fcosts[pc]);
+                        }
+
+                        // ---- fused superinstructions: two constituents,
+                        // two commits, bound re-checked between them ----
+                        FlatOp::FusedGlobalLoad {
+                            addr_dst,
+                            global,
+                            offset,
+                            dst,
+                        } => {
+                            let a = self.mem.global_base(global) + frame.get(offset);
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            match self.mem.load(a) {
+                                Ok(v) => {
+                                    frame.regs[dst.index()] = v;
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedGlobalStore {
+                            addr_dst,
+                            global,
+                            offset,
+                            val,
+                        } => {
+                            let a = self.mem.global_base(global) + frame.get(offset);
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            let v = frame.get(val);
+                            match self.mem.store(a, v) {
+                                Ok(()) => {
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedSlotLoad {
+                            addr_dst,
+                            slot_off,
+                            offset,
+                            dst,
+                        } => {
+                            let Some(base) = frame.frame_base else {
+                                break RunEnd::Trap("frame has no slot area".into());
+                            };
+                            let a = base + slot_off + frame.get(offset);
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            match self.mem.load(a) {
+                                Ok(v) => {
+                                    frame.regs[dst.index()] = v;
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedSlotStore {
+                            addr_dst,
+                            slot_off,
+                            offset,
+                            val,
+                        } => {
+                            let Some(base) = frame.frame_base else {
+                                break RunEnd::Trap("frame has no slot area".into());
+                            };
+                            let a = base + slot_off + frame.get(offset);
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            let v = frame.get(val);
+                            match self.mem.store(a, v) {
+                                Ok(()) => {
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedPtrLoad {
+                            addr_dst,
+                            base,
+                            offset,
+                            dst,
+                        } => {
+                            let a = frame.get(base).wrapping_add(frame.get(offset));
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            match self.mem.load(a) {
+                                Ok(v) => {
+                                    frame.regs[dst.index()] = v;
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedPtrStore {
+                            addr_dst,
+                            base,
+                            offset,
+                            val,
+                        } => {
+                            let a = frame.get(base).wrapping_add(frame.get(offset));
+                            frame.regs[addr_dst.index()] = a;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            let v = frame.get(val);
+                            match self.mem.store(a, v) {
+                                Ok(()) => {
+                                    frame.pc += 1;
+                                    mem_ops += 1;
+                                    commit!(fcosts[pc + 1]);
+                                    fused_ops += 1;
+                                }
+                                Err(t) => break RunEnd::Trap(t.to_string()),
+                            }
+                        }
+                        FlatOp::FusedCmpBranch {
+                            dst,
+                            op: bop,
+                            a,
+                            b,
+                            then_pc,
+                            else_pc,
+                        } => {
+                            let r = binop_eval!(bop, frame.get(a), frame.get(b));
+                            frame.regs[dst.index()] = r;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            let t = if r != 0 { then_pc } else { else_pc };
+                            frame.pc = t;
+                            if count_blocks {
+                                // Target blocks are dropped from the fused
+                                // form; recover via the pc→block map.
+                                self.block_counts[fidx][func.pc_block[t as usize] as usize] += 1;
+                            }
+                            commit!(fcosts[pc + 1]);
+                            fused_ops += 1;
+                        }
+                        FlatOp::FusedOpAssign {
+                            tmp,
+                            op: bop,
+                            a,
+                            b,
+                            dst,
+                        } => {
+                            let r = binop_eval!(bop, frame.get(a), frame.get(b));
+                            frame.regs[tmp.index()] = r;
+                            frame.pc += 1;
+                            commit!(fcosts[pc]);
+                            recheck!();
+                            frame.regs[dst.index()] = r;
+                            frame.pc += 1;
+                            commit!(fcosts[pc + 1]);
+                            fused_ops += 1;
+                        }
+
+                        // Call, Return, sync, heap, I/O, weak ops: not
+                        // batchable — hand back to the step dispatcher.
+                        _ => break RunEnd::Cold,
+                    }
+                    recheck!();
+                }
+            };
+            if batched_ops > run_start {
+                batch_runs += 1;
+            }
+            match end {
+                RunEnd::Cold => {
+                    // Single-step the cold op through the ordinary path —
+                    // byte-identical dispatch, including `StepEnd`
+                    // accounting and event emission.
+                    let next = self.step_flat(sup, ThreadId(id));
+                    steps += 1;
+                    if steps > max_steps {
+                        break Some(Outcome::StepLimit);
+                    }
+                    if self.finished.is_some() || self.sched_dirty {
+                        break None;
+                    }
+                    match next {
+                        None => {
+                            // Blocked (a `Done` transition marks the
+                            // scheduler dirty and breaks above).
+                            queue.remove(0);
+                        }
+                        Some(clock) => reposition_front(queue, (clock, id)),
+                    }
+                }
+                RunEnd::Yield(clock) => reposition_front(queue, (clock, id)),
+                RunEnd::Trap(message) => {
+                    self.trap(ThreadId(id), message);
+                    break None;
+                }
+                RunEnd::Limit => break Some(Outcome::StepLimit),
+            }
+        };
+
+        self.steps = steps;
+        self.stats.instrs += instrs;
+        self.stats.mem_ops += mem_ops;
+        self.stats.vm.fused_ops += fused_ops;
+        self.stats.vm.batch_runs += batch_runs;
+        self.stats.vm.batched_ops += batched_ops;
+        result
+    }
+
+    /// Attempt one speculative segment round: run every ready thread
+    /// ahead through hot ops to its next scheduling point, certify the
+    /// segments pairwise race-free on page-granular read/write sets, and
+    /// keep only ops that canonically precede everything the round did
+    /// not execute. Only called with jitter off (commits draw no RNG),
+    /// block counting off, and the batch gate up (hot ops emit no
+    /// events) — the combination that makes reordering conflict-free
+    /// segments unobservable.
+    ///
+    /// Returns `true` when the round committed ops (queue keys have been
+    /// refreshed); `false` leaves the machine bit-exactly as before the
+    /// call, apart from backoff bookkeeping.
+    fn try_round(&mut self, queue: &mut [(u64, u32)], steps: &mut u64) -> bool {
+        let n = queue.len() as u64;
+        // Reserve the worst case up front so committed segments need no
+        // per-op budget checks (a fused pair may straddle the cap).
+        if steps.saturating_add(n * (SEG_CAP + 2)) > self.config.max_steps {
+            self.spec.cooldown = self.spec.penalty;
+            return false;
+        }
+        self.prepare_round(queue);
+        // Earliest key among ready threads already sitting at a cold op:
+        // segments must stop strictly before it (the queue is sorted, so
+        // the first cold thread has the minimal cold key).
+        let bound0 = queue.iter().copied().find(|&(_, id)| {
+            let f = self.threads[id as usize]
+                .frames
+                .last()
+                .expect("live thread has frames");
+            !op_is_hot(&self.flat.funcs[f.func.index()].fused[f.pc as usize])
+        });
+        let parallel = self.config.parallelism > 1 && !serial_requested();
+        let committed = if parallel {
+            self.round_par(queue, bound0)
+        } else {
+            self.round_direct(queue, bound0)
+        };
+        let total = match committed {
+            Some(total) => total,
+            None => {
+                self.stats.vm.spec_discards += 1;
+                self.spec.cooldown = self.spec.penalty;
+                self.spec.penalty = (self.spec.penalty * 2).min(SPEC_PENALTY_MAX);
+                return false;
+            }
+        };
+        if total >= 4 * n {
+            self.spec.penalty = SPEC_PENALTY_MIN;
+            self.spec.cooldown = 0;
+        } else {
+            // Legal but trivial (per-op thread alternation): keep what
+            // committed, then back off — the exact batch engine handles
+            // this phase with less overhead.
+            self.spec.cooldown = self.spec.penalty;
+            self.spec.penalty = (self.spec.penalty * 2).min(SPEC_PENALTY_MAX);
+        }
+        if total == 0 {
+            return false;
+        }
+        *steps += total;
+        self.stats.vm.spec_rounds += 1;
+        if parallel {
+            self.stats.vm.par_rounds += 1;
+        }
+        refresh_queue_keys(queue, &self.threads);
+        true
+    }
+
+    /// Size the per-thread page-stamp arrays for the current address
+    /// frontier and open a new round epoch.
+    fn prepare_round(&mut self, queue: &[(u64, u32)]) {
+        let spec = &mut self.spec;
+        if spec.globals.len() != self.mem.global_bases().len() {
+            spec.globals = self.mem.global_bases().to_vec();
+        }
+        let pages = (self.mem.frontier() as u64 >> PAGE_SHIFT) as usize + 1;
+        let slots = self.threads.len();
+        if spec.read_epoch.len() < slots {
+            spec.read_epoch.resize_with(slots, Vec::new);
+            spec.write_epoch.resize_with(slots, Vec::new);
+            spec.touched_read.resize_with(slots, Vec::new);
+            spec.touched_write.resize_with(slots, Vec::new);
+        }
+        spec.epoch = spec.epoch.wrapping_add(1);
+        if spec.epoch == 0 {
+            // Stamp wrap-around (one bump per round): clear every stamp
+            // so stale ones can never alias the restarted epoch.
+            for v in spec
+                .read_epoch
+                .iter_mut()
+                .chain(spec.write_epoch.iter_mut())
+            {
+                v.iter_mut().for_each(|s| *s = 0);
+            }
+            spec.epoch = 1;
+        }
+        for &(_, id) in queue {
+            let tix = id as usize;
+            spec.read_epoch[tix].resize(pages, 0);
+            spec.write_epoch[tix].resize(pages, 0);
+        }
+    }
+
+    /// Put one thread back to its pre-round snapshot (registers, pc,
+    /// clock, instruction count). Hot ops touch nothing else in `Thr`.
+    fn restore_thread(&mut self, snap: &SegSnap) {
+        let Thr {
+            frames,
+            clock,
+            icount,
+            ..
+        } = &mut self.threads[snap.tix];
+        let frame = frames.last_mut().expect("live thread has frames");
+        frame.pc = snap.pc;
+        frame.regs.copy_from_slice(&snap.regs);
+        *clock = snap.clock;
+        *icount = snap.icount;
+    }
+
+    /// Evaluate one round in-line: segments run directly against memory
+    /// with an undo log and per-thread page-epoch stamps. Returns the
+    /// total ops committed, or `None` if the round was discarded — any
+    /// speculative trap or cross-segment page overlap — and rolled back.
+    fn round_direct(
+        &mut self,
+        queue: &[(u64, u32)],
+        bound0: Option<(u64, u32)>,
+    ) -> Option<u64> {
+        let epoch = self.spec.epoch;
+        // Moved out of `self.spec` so the segment executor can borrow the
+        // remaining `self` fields disjointly.
+        let mut snaps = std::mem::take(&mut self.spec.snaps);
+        let mut undo = std::mem::take(&mut self.spec.undo);
+        let globals = std::mem::take(&mut self.spec.globals);
+        snaps.resize_with(queue.len(), SegSnap::default);
+        let mut trapped = false;
+        for (i, &(_, id)) in queue.iter().enumerate() {
+            let tix = id as usize;
+            self.spec.touched_read[tix].clear();
+            self.spec.touched_write[tix].clear();
+            let snap = &mut snaps[i];
+            let Thr {
+                frames,
+                clock,
+                icount,
+                ..
+            } = &mut self.threads[tix];
+            let frame = frames.last_mut().expect("live thread has frames");
+            snap.tix = tix;
+            snap.pc = frame.pc;
+            snap.clock = *clock;
+            snap.icount = *icount;
+            snap.regs.clear();
+            snap.regs.extend_from_slice(&frame.regs);
+            snap.undo_start = undo.len();
+            let fidx = frame.func.index();
+            let ctx = SegCtx {
+                func: &self.flat.funcs[fidx],
+                fcosts: &self.costs[fidx],
+                globals: &globals,
+                id,
+                bound: bound0,
+            };
+            let mut seg = DirectSeg {
+                mem: &mut self.mem,
+                undo: &mut undo,
+                epoch,
+                read_epoch: &mut self.spec.read_epoch[tix],
+                write_epoch: &mut self.spec.write_epoch[tix],
+                touched_read: &mut self.spec.touched_read[tix],
+                touched_write: &mut self.spec.touched_write[tix],
+            };
+            snap.run = run_segment(&ctx, frame, clock, icount, &mut seg);
+            trapped |= snap.run.end == SegEnd::Trap;
+        }
+        // Certification: a speculative trap (possibly an artifact of
+        // reading another segment's half-done state) or any overlap of
+        // one segment's writes with another's reads or writes discards
+        // the round whole.
+        let mut conflict = trapped;
+        if !conflict {
+            'pairs: for &(_, wid) in queue {
+                for &p in &self.spec.touched_write[wid as usize] {
+                    for &(_, oid) in queue {
+                        if oid != wid
+                            && (self.spec.read_epoch[oid as usize][p as usize] == epoch
+                                || self.spec.write_epoch[oid as usize][p as usize] == epoch)
+                        {
+                            conflict = true;
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+        if conflict {
+            for &(addr, old) in undo.iter().rev() {
+                self.mem.write_raw(addr, old);
+            }
+            for snap in &snaps {
+                self.restore_thread(snap);
+            }
+            undo.clear();
+            self.spec.snaps = snaps;
+            self.spec.undo = undo;
+            self.spec.globals = globals;
+            return None;
+        }
+        // Cold-op ordering: a speculative op is committable only if it
+        // canonically precedes every op the round did NOT execute, i.e.
+        // its pre-op key is below K — the earliest next-op key over all
+        // round threads after their segments. Segments that overran K
+        // are rolled back whole, which is legal precisely because the
+        // round certified conflict-free: nothing read their writes, and
+        // their own re-execution reads nothing the kept segments wrote.
+        let k = queue
+            .iter()
+            .map(|&(_, id)| (self.threads[id as usize].clock, id))
+            .min()
+            .expect("round has participants");
+        let mut total = 0u64;
+        let mut kept = 0u64;
+        let (mut fused, mut mem_ops) = (0u64, 0u64);
+        for (i, snap) in snaps.iter().enumerate() {
+            if snap.run.ops == 0 {
+                continue;
+            }
+            if (snap.run.last_pre, queue[i].1) >= k {
+                let end = snaps.get(i + 1).map_or(undo.len(), |s| s.undo_start);
+                for &(addr, old) in undo[snap.undo_start..end].iter().rev() {
+                    self.mem.write_raw(addr, old);
+                }
+                self.restore_thread(snap);
+                continue;
+            }
+            total += snap.run.ops;
+            kept += 1;
+            fused += snap.run.fused;
+            mem_ops += snap.run.mem_ops;
+        }
+        self.stats.instrs += total;
+        self.stats.mem_ops += mem_ops;
+        self.stats.vm.fused_ops += fused;
+        self.stats.vm.spec_ops += total;
+        self.stats.vm.spec_segments += kept;
+        undo.clear();
+        self.spec.snaps = snaps;
+        self.spec.undo = undo;
+        self.spec.globals = globals;
+        Some(total)
+    }
+
+    /// Evaluate one round on OS worker threads: every segment runs
+    /// against a frozen memory snapshot with a private write overlay, so
+    /// workers share nothing mutable. The verdict and committed state
+    /// are identical to [`Self::round_direct`] on the same pre-round
+    /// state: in a certified round no segment observed another's writes,
+    /// so direct and overlay evaluation retire identical ops — and a
+    /// cross-segment read of a written page is itself a detected
+    /// conflict, discarding the round in both modes before any value
+    /// divergence can matter.
+    fn round_par(&mut self, queue: &[(u64, u32)], bound0: Option<(u64, u32)>) -> Option<u64> {
+        struct SegJob {
+            tix: usize,
+            frame: Frame,
+            clock: u64,
+            icount: u64,
+        }
+        struct SegOut {
+            tix: usize,
+            frame: Frame,
+            clock: u64,
+            icount: u64,
+            run: SegRun,
+            writes: std::collections::HashMap<i64, i64>,
+            read_pages: Vec<u32>,
+            write_pages: Vec<u32>,
+        }
+        let jobs: Vec<SegJob> = queue
+            .iter()
+            .map(|&(_, id)| {
+                let t = &self.threads[id as usize];
+                SegJob {
+                    tix: id as usize,
+                    frame: t.frames.last().expect("live thread has frames").clone(),
+                    clock: t.clock,
+                    icount: t.icount,
+                }
+            })
+            .collect();
+        let snap = self.mem.snapshot();
+        let flat = &self.flat;
+        let costs = &self.costs;
+        let globals = &self.spec.globals;
+        let outs: Vec<SegOut> = par_map(&jobs, |job| {
+            let mut frame = job.frame.clone();
+            let (mut clock, mut icount) = (job.clock, job.icount);
+            let fidx = frame.func.index();
+            let ctx = SegCtx {
+                func: &flat.funcs[fidx],
+                fcosts: &costs[fidx],
+                globals,
+                id: job.tix as u32,
+                bound: bound0,
+            };
+            let mut seg = OverlaySeg {
+                snap,
+                writes: std::collections::HashMap::new(),
+                read_pages: Vec::new(),
+                write_pages: Vec::new(),
+            };
+            let run = run_segment(&ctx, &mut frame, &mut clock, &mut icount, &mut seg);
+            seg.read_pages.sort_unstable();
+            seg.read_pages.dedup();
+            seg.write_pages.sort_unstable();
+            seg.write_pages.dedup();
+            SegOut {
+                tix: job.tix,
+                frame,
+                clock,
+                icount,
+                run,
+                writes: seg.writes,
+                read_pages: seg.read_pages,
+                write_pages: seg.write_pages,
+            }
+        });
+        if outs.iter().any(|o| o.run.end == SegEnd::Trap) {
+            return None;
+        }
+        for i in 0..outs.len() {
+            for j in (i + 1)..outs.len() {
+                if sorted_intersects(&outs[i].write_pages, &outs[j].read_pages)
+                    || sorted_intersects(&outs[j].write_pages, &outs[i].read_pages)
+                    || sorted_intersects(&outs[i].write_pages, &outs[j].write_pages)
+                {
+                    return None;
+                }
+            }
+        }
+        let k = outs
+            .iter()
+            .map(|o| (o.clock, o.tix as u32))
+            .min()
+            .expect("round has participants");
+        let mut total = 0u64;
+        let mut kept = 0u64;
+        let (mut fused, mut mem_ops) = (0u64, 0u64);
+        for out in outs {
+            // Segments past K (or empty) are simply dropped — nothing
+            // was applied to shared state yet.
+            if out.run.ops == 0 || (out.run.last_pre, out.tix as u32) >= k {
+                continue;
+            }
+            total += out.run.ops;
+            kept += 1;
+            fused += out.run.fused;
+            mem_ops += out.run.mem_ops;
+            for (addr, val) in out.writes {
+                // Distinct addresses, so the map's iteration order is
+                // immaterial; addresses were validated against the
+                // snapshot and no heap op ran since.
+                self.mem.write_raw(addr, val);
+            }
+            let t = &mut self.threads[out.tix];
+            *t.frames.last_mut().expect("live thread has frames") = out.frame;
+            t.clock = out.clock;
+            t.icount = out.icount;
+        }
+        self.stats.instrs += total;
+        self.stats.mem_ops += mem_ops;
+        self.stats.vm.fused_ops += fused;
+        self.stats.vm.spec_ops += total;
+        self.stats.vm.spec_segments += kept;
+        Some(total)
     }
 
     fn finish_deadlock(self) -> ExecResult {
@@ -2060,6 +3606,16 @@ impl<'p> Machine<'p> {
             | FlatOp::Jump { .. }
             | FlatOp::Branch { .. } => {
                 unreachable!("hot op executed inline by step_flat")
+            }
+            FlatOp::FusedGlobalLoad { .. }
+            | FlatOp::FusedGlobalStore { .. }
+            | FlatOp::FusedSlotLoad { .. }
+            | FlatOp::FusedSlotStore { .. }
+            | FlatOp::FusedPtrLoad { .. }
+            | FlatOp::FusedPtrStore { .. }
+            | FlatOp::FusedCmpBranch { .. }
+            | FlatOp::FusedOpAssign { .. } => {
+                unreachable!("fused op lives only in the sidecar arena")
             }
             FlatOp::AddrOfRegister { local } => StepEnd::Trap(format!(
                 "address taken of register local {local} (lowering bug)"

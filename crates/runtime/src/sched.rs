@@ -98,6 +98,15 @@ impl SchedStrategy {
         }
     }
 
+    /// True for the clock-ordered baseline — the only policy whose
+    /// schedule is a pure function of `(clock, id)` keys. That purity is
+    /// what licenses the flat VM's queue, batch-commit, and speculative
+    /// segment-round engines (DESIGN.md §13); every other strategy runs
+    /// the shared per-step strategy loop.
+    pub fn is_baseline(&self) -> bool {
+        *self == SchedStrategy::ClockJitter
+    }
+
     /// Short stable name (report keys, bench ids).
     pub fn name(&self) -> &'static str {
         match self {

@@ -37,7 +37,56 @@ pub struct ExecStats {
     /// [`crate::sched::SchedStrategy`] (PCT priority changes, forced
     /// preemptions); 0 under the clock-ordered baseline.
     pub sched_preemptions: u64,
+    /// Execution-strategy observability counters (superinstruction fusion,
+    /// batch commit, parallel segments). Excluded from equality — see
+    /// [`VmPerf`].
+    pub vm: VmPerf,
 }
+
+/// How the flat VM executed, mechanically: superinstructions dispatched,
+/// batch-commit run shapes, parallel segments committed.
+///
+/// These counters describe the *execution strategy*, not the program:
+/// reference mode, single-step flat, batched flat, and parallel flat all
+/// retire the identical instruction stream but count differently here. The
+/// byte-identity contract (`tests/vm_differential.rs`) compares whole
+/// [`ExecStats`] values across modes, so `VmPerf`'s `PartialEq` is
+/// intentionally always-true: strategy observability must never make two
+/// semantically identical executions compare unequal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmPerf {
+    /// Fused superinstructions dispatched (each covers two retired ops).
+    pub fused_ops: u64,
+    /// Hot batch runs entered (one per uninterrupted same-thread run
+    /// inside the exact batch loop).
+    pub batch_runs: u64,
+    /// Ops retired inside exact batch runs (`batched_ops / batch_runs` is
+    /// the mean commit-run length).
+    pub batched_ops: u64,
+    /// Speculative segment rounds committed (each runs every ready thread
+    /// ahead to its next scheduling point and certifies the segments
+    /// pairwise race-free before keeping them).
+    pub spec_rounds: u64,
+    /// Certified race-free segments committed from speculative rounds.
+    pub spec_segments: u64,
+    /// Ops retired inside committed speculative segments.
+    pub spec_ops: u64,
+    /// Speculative rounds discarded (overlapping read/write sets or a
+    /// speculative trap) and rolled back to exact execution.
+    pub spec_discards: u64,
+    /// Committed rounds whose segments were evaluated on OS worker
+    /// threads (`ExecConfig::parallelism > 1`) rather than in-line.
+    pub par_rounds: u64,
+}
+
+impl PartialEq for VmPerf {
+    /// Always equal: see the type-level comment.
+    fn eq(&self, _: &VmPerf) -> bool {
+        true
+    }
+}
+
+impl Eq for VmPerf {}
 
 impl ExecStats {
     /// Total weak-lock acquisitions across granularities.
