@@ -82,6 +82,38 @@ echo "== explore smoke (CLI sweep on checked-in fixture) =="
 cargo run -q --release --offline -p chimera --bin chimera -- \
     explore fixtures/racy_counter.mc --seeds 1 --drd
 
+echo "== fleet containers + resume idempotence =="
+# Corpus/journal hostile-input hardening (every-prefix truncation,
+# byte-flip detection, named-section errors) and the orchestrator's
+# resume guarantee: budget + --resume renders byte-identical reports to
+# one-shot and re-executes nothing (DESIGN.md §14). Runs in the suite
+# above too; invoked explicitly so a failure is unmissable.
+cargo test -q --offline -p chimera-fleet
+
+echo "== fleet smoke (journaled CLI grid, resumed twice) =="
+# End-to-end CLI: a small grid on the checked-in fixture executes and
+# journals every cell, then two --resume re-runs are pure journal hits —
+# zero cells re-executed (EXPERIMENTS.md).
+fleet_dir=$(mktemp -d)
+fleet_run1=$($chimera_bin fleet fixtures/racy_counter.mc --seeds 2 --check-determinism \
+    --dir "$fleet_dir")
+echo "$fleet_run1" | grep -q "6 executed now, 0 journal hit(s)" || {
+    echo "fleet first run did not execute the full grid:" >&2
+    echo "$fleet_run1" >&2
+    exit 1
+}
+for attempt in 1 2; do
+    fleet_rerun=$($chimera_bin fleet fixtures/racy_counter.mc --seeds 2 --check-determinism \
+        --dir "$fleet_dir" --resume)
+    echo "$fleet_rerun" | grep -q "0 executed now, 6 journal hit(s)" || {
+        echo "fleet resume #$attempt re-executed cells:" >&2
+        echo "$fleet_rerun" >&2
+        exit 1
+    }
+done
+rm -rf "$fleet_dir"
+echo "fleet grid journaled once, resumed twice with zero re-executions"
+
 echo "== clippy (deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -118,6 +150,14 @@ echo "== replay-format overhead smoke (1 sample) =="
 # EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench replay_format
+
+echo "== fleet throughput smoke (1 sample) =="
+# Proves the ≥1,000-cell grid (nine workloads × three strategies × 38
+# seeds) still completes clean under both serial and work-stealing
+# execution with identical reports; committed BENCH_fleet.json is
+# refreshed manually (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench fleet_throughput
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

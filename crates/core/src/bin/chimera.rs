@@ -10,8 +10,11 @@
 //!                                              # replay from a log file
 //! chimera ir <file.mc>                         # dump the IR
 //! chimera drd <file.mc> [--instrumented]       # dynamic race report
-//! chimera explore [file.mc] [--strategy S] [--seeds N] [--drd] [-o r.json]
-//!                                              # adversarial-schedule sweep
+//! chimera explore [file.mc] [--strategy S] [--seeds N] [--jobs N] [--drd]
+//!                 [-o r.json]                  # adversarial-schedule sweep
+//! chimera fleet [file.mc] [--strategy S] [--seeds N] [--jobs N] [--drd]
+//!               [--dir D] [--resume] [--check-determinism] [--max-cells N]
+//!               [--raw] [-o r.json]            # exploration-cell fleet
 //! ```
 //!
 //! `record` and `replay` must agree on the file and options so the
@@ -40,7 +43,20 @@
 //! strategy; without a file it sweeps all nine paper workloads. It exits
 //! nonzero if any replay diverges or the weak-lock single-holder
 //! invariant is ever violated, and writes a JSON schedule-coverage report
-//! with `-o`.
+//! with `-o`. `--jobs N` runs the sweep on N worker threads (0 = one per
+//! core; `CHIMERA_SERIAL=1` forces serial) with a bit-identical report.
+//!
+//! `fleet` scales the same per-cell pipeline to campaign size: the full
+//! `programs × strategies × seeds` grid runs work-stealing across `--jobs`
+//! workers, every outcome is journaled under a durable cell key, and
+//! interesting cells (new schedule coverage, divergences, preemption-heavy
+//! runs, violations) feed a persistent seed corpus. `--dir D` holds
+//! `journal.chfj` + `corpus.chfc`; `--resume` skips journaled cells (an
+//! interrupted or `--max-cells`-budgeted campaign continues where it
+//! left off, and the final report is byte-identical to a one-shot run);
+//! `--check-determinism` runs every cell twice and diffs the state and
+//! order hashes, kimberlite-style; `--raw` sweeps the program
+//! *uninstrumented*, where divergence is the expected, flagged finding.
 
 use chimera::{analyze, ExploreConfig, OptSet, PipelineConfig};
 use chimera_minic::compile;
@@ -73,13 +89,20 @@ struct Cli {
     parallel: u32,
     json: bool,
     no_jitter: bool,
+    jobs: usize,
+    dir: Option<String>,
+    resume: bool,
+    check_determinism: bool,
+    max_cells: Option<u64>,
+    raw: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         return Err(
-            "usage: chimera <races|plan|run|record|replay|ir|drd|explore> <file.mc> [...]".into(),
+            "usage: chimera <races|plan|run|record|replay|ir|drd|explore|fleet> <file.mc> [...]"
+                .into(),
         );
     }
     let mut cli = Cli {
@@ -98,6 +121,12 @@ fn parse_cli() -> Result<Cli, String> {
         parallel: 1,
         json: false,
         no_jitter: false,
+        jobs: 0,
+        dir: None,
+        resume: false,
+        check_determinism: false,
+        max_cells: None,
+        raw: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -162,6 +191,37 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.json = true;
                 i += 1;
             }
+            "--jobs" => {
+                cli.jobs = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a number (0 = one worker per core)")?;
+                i += 2;
+            }
+            "--dir" => {
+                cli.dir = Some(argv.get(i + 1).cloned().ok_or("--dir needs a path")?);
+                i += 2;
+            }
+            "--resume" => {
+                cli.resume = true;
+                i += 1;
+            }
+            "--check-determinism" => {
+                cli.check_determinism = true;
+                i += 1;
+            }
+            "--max-cells" => {
+                cli.max_cells = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-cells needs a number")?,
+                );
+                i += 2;
+            }
+            "--raw" => {
+                cli.raw = true;
+                i += 1;
+            }
             "--no-jitter" => {
                 // Timing jitter off. This is what arms the speculative
                 // segment engine (and with --parallel its OS-thread
@@ -188,6 +248,9 @@ fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     if cli.command == "explore" {
         return run_explore(&cli);
+    }
+    if cli.command == "fleet" {
+        return run_fleet_cmd(&cli);
     }
     let path = cli.file.clone().ok_or("missing <file.mc> argument")?;
     let source =
@@ -374,7 +437,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (races|plan|run|record|replay|ir|drd|explore)"
+            "unknown command '{other}' (races|plan|run|record|replay|ir|drd|explore|fleet)"
         )),
     }
 }
@@ -399,6 +462,7 @@ fn run_explore(cli: &Cli) -> Result<(), String> {
             ..ExecConfig::default()
         },
         check_drd: cli.drd,
+        jobs: cli.jobs,
     };
     let opts = if cli.naive {
         OptSet::naive()
@@ -472,6 +536,145 @@ fn run_explore(cli: &Cli) -> Result<(), String> {
         "explored {} program(s): all replays equivalent, single-holder invariant held",
         reports.len()
     );
+    Ok(())
+}
+
+/// `chimera fleet`: run the full exploration-cell grid work-stealing,
+/// journal every outcome, harvest interesting cells into the seed corpus,
+/// and report grid-wide schedule coverage.
+fn run_fleet_cmd(cli: &Cli) -> Result<(), String> {
+    use chimera::{run_fleet, FleetConfig, FleetTarget};
+
+    let strategies = match cli.strategy.as_str() {
+        "all" => vec![
+            SchedStrategy::ClockJitter,
+            SchedStrategy::pct(3),
+            SchedStrategy::preempt_bound(),
+        ],
+        name => vec![SchedStrategy::parse(name)
+            .ok_or_else(|| format!("unknown strategy '{name}' (jitter|pct|preempt-bound|all)"))?],
+    };
+    let opts = if cli.naive {
+        OptSet::naive()
+    } else {
+        OptSet::all()
+    };
+    let pipeline = PipelineConfig {
+        opts,
+        ..PipelineConfig::default()
+    };
+
+    // Build the target list: one file, or all nine paper workloads.
+    let mut sources: Vec<(String, chimera_minic::ir::Program)> = Vec::new();
+    if let Some(path) = &cli.file {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = compile(&source).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        sources.push((name, program));
+    } else {
+        for w in chimera::workloads::all() {
+            let p = w
+                .compile(&w.profile_params(0))
+                .map_err(|e| format!("{}: {e}", w.name))?;
+            sources.push((w.name.to_string(), p));
+        }
+    }
+    let targets: Vec<FleetTarget> = sources
+        .into_iter()
+        .map(|(name, program)| {
+            if cli.raw {
+                FleetTarget::raw(&name, program)
+            } else {
+                let analysis = analyze(&program, &pipeline);
+                let statics = analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+                FleetTarget {
+                    name,
+                    program: analysis.instrumented.clone(),
+                    cross: Some((analysis.program.clone(), statics)),
+                    expect_divergence: false,
+                }
+            }
+        })
+        .collect();
+
+    let cfg = FleetConfig {
+        strategies,
+        seeds: (1..=cli.seeds.max(1)).collect(),
+        exec: ExecConfig {
+            seed: cli.seed,
+            ..ExecConfig::default()
+        },
+        check_drd: cli.drd,
+        check_determinism: cli.check_determinism,
+        jobs: cli.jobs,
+        batch: 0,
+        max_cells: cli.max_cells,
+        dir: cli.dir.as_ref().map(std::path::PathBuf::from),
+        resume: cli.resume,
+    };
+
+    let started = std::time::Instant::now();
+    let run = run_fleet(&targets, &cfg)?;
+    let elapsed = started.elapsed();
+    let report = &run.report;
+
+    for t in &report.targets {
+        for st in &t.strategies {
+            println!(
+                "{:>12} {:>13}: {} cell(s), {} divergence(s), {} violation(s), \
+                 {} nondeterministic, {} distinct order(s) ({} prefix(es))",
+                t.name,
+                st.strategy,
+                st.cells,
+                st.divergences,
+                st.violations,
+                st.nondeterministic,
+                st.distinct_orders,
+                st.distinct_prefixes,
+            );
+        }
+    }
+    println!(
+        "grid {} cell(s): {} covered, {} executed now, {} journal hit(s), {} budget-deferred",
+        report.grid, report.covered, run.executed, run.journal_hits, run.truncated
+    );
+    println!(
+        "coverage: {} distinct order(s), {} distinct prefix(es); corpus {} (+{} this run); \
+         journal {}",
+        report.distinct_orders,
+        report.distinct_prefixes,
+        report.corpus_total,
+        run.corpus_added,
+        run.journal_total
+    );
+    if report.flagged > 0 {
+        println!("flagged {} cell(s) for the corpus triage queue", report.flagged);
+    }
+    // Wall-clock throughput goes to stderr: stdout stays a deterministic
+    // function of the grid so resumed runs can be diffed against one-shot.
+    let secs = elapsed.as_secs_f64();
+    if run.executed > 0 && secs > 0.0 {
+        eprintln!(
+            "executed {} cell(s) in {:.2}s ({:.1} cells/s, jobs={})",
+            run.executed,
+            secs,
+            run.executed as f64 / secs,
+            cli.jobs
+        );
+    }
+
+    if let Some(out) = &cli.out {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    if !report.passed() {
+        return Err("fleet found unexpected divergences, violations, or nondeterminism".into());
+    }
+    println!("fleet passed: every instrumented cell replayed deterministically");
     Ok(())
 }
 

@@ -24,16 +24,19 @@
 //! 32-event order prefixes, plus the number of injected perturbations.
 //! A sweep where every seed collapses to one order hash is not evidence
 //! of anything; the harness makes that visible instead of silent.
+//!
+//! The per-cell body lives in [`chimera_fleet::cell`] and is shared with
+//! the fleet orchestrator (`chimera fleet`), so a fleet finding is always
+//! reproducible by a one-process explore sweep of the same cell.
 
 use crate::pipeline::Analysis;
-use chimera_drd::detect;
 use chimera_minic::ir::{AccessId, Program};
-use chimera_replay::{record, replay, verify_determinism};
-use chimera_runtime::{
-    execute, execute_supervised, par_map, Event, EventKind, EventMask, ExecConfig, ExecResult,
-    SchedStrategy, SingleHolderProbe, Supervisor,
-};
+use chimera_runtime::{execute, par_map_jobs, ExecConfig, SchedStrategy};
 use std::collections::BTreeSet;
+
+pub use chimera_fleet::cell::{
+    resolve_strategy, run_cell, ScheduleObserver, SeedOutcome, StaticPairs, PREFIX_EVENTS,
+};
 
 /// What to sweep: strategies × seeds, on a base execution configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +52,10 @@ pub struct ExploreConfig {
     /// Also run the FastTrack detector per cell (slower; adds the
     /// DRF/static cross-check columns).
     pub check_drd: bool,
+    /// Worker threads for the sweep: 0 = auto (`available_parallelism`),
+    /// 1 = serial, N = exactly N. `CHIMERA_SERIAL=1` always forces
+    /// serial. The report is bit-identical at every setting.
+    pub jobs: usize,
 }
 
 impl Default for ExploreConfig {
@@ -62,56 +69,8 @@ impl Default for ExploreConfig {
             seeds: vec![1, 2, 3],
             exec: ExecConfig::default(),
             check_drd: false,
+            jobs: 0,
         }
-    }
-}
-
-/// Everything observed for one `(strategy, seed)` cell.
-#[derive(Debug, Clone)]
-pub struct SeedOutcome {
-    /// The record seed.
-    pub seed: u64,
-    /// The replay consumed every log entry and exited.
-    pub replay_complete: bool,
-    /// Record and replay were observably equivalent.
-    pub equivalent: bool,
-    /// Verifier differences (empty when equivalent).
-    pub differences: Vec<String>,
-    /// Single-holder invariant violations seen by the probe.
-    pub violations: Vec<String>,
-    /// Scheduling perturbations the strategy injected during the
-    /// recorded schedule (PCT priority changes, forced preemptions).
-    pub preemptions: u64,
-    /// Weak-lock forced releases (timeouts / hand-offs) during recording.
-    pub forced_releases: u64,
-    /// FNV-1a hash of the full sync/weak order stream.
-    pub order_hash: u64,
-    /// Hash of the first 32 order events (schedule prefix identity).
-    pub prefix_hash: u64,
-    /// Order events observed.
-    pub sync_events: u64,
-    /// Dynamic races FastTrack found on the instrumented program
-    /// (`None` when the DRD cross-check was off; must be 0 otherwise).
-    pub drd_races: Option<usize>,
-    /// Dynamic races on the uninstrumented program that RELAY did *not*
-    /// predict statically (`None` when off; must be 0 otherwise).
-    pub drd_unpredicted: Option<usize>,
-}
-
-impl SeedOutcome {
-    /// Replay reproduced the recording and no invariant or DRD check
-    /// failed.
-    pub fn clean(&self) -> bool {
-        self.replay_complete
-            && self.equivalent
-            && self.violations.is_empty()
-            && self.drd_races.unwrap_or(0) == 0
-            && self.drd_unpredicted.unwrap_or(0) == 0
-    }
-
-    /// The replay failed to reproduce the recording.
-    pub fn diverged(&self) -> bool {
-        !(self.replay_complete && self.equivalent)
     }
 }
 
@@ -245,96 +204,6 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Observes the sync/weak order of one run: hashes the order stream for
-/// coverage counting and delegates weak-lock events to a
-/// [`SingleHolderProbe`].
-#[derive(Debug, Default)]
-pub struct ScheduleObserver {
-    /// The attached single-holder invariant probe.
-    pub probe: SingleHolderProbe,
-    /// FNV-1a over the order stream so far.
-    pub order_hash: u64,
-    /// The hash frozen after [`PREFIX_EVENTS`] events (or the final hash
-    /// for shorter runs).
-    pub prefix_hash: u64,
-    /// Events folded in.
-    pub events: u64,
-}
-
-/// How many leading order events define a schedule "prefix".
-pub const PREFIX_EVENTS: u64 = 32;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-impl ScheduleObserver {
-    fn fold(&mut self, thread: u32, tag: u64, addr: u64) {
-        let mut h = if self.events == 0 {
-            FNV_OFFSET
-        } else {
-            self.order_hash
-        };
-        for word in [u64::from(thread), tag, addr] {
-            for b in word.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            }
-        }
-        self.order_hash = h;
-        self.events += 1;
-        if self.events <= PREFIX_EVENTS {
-            self.prefix_hash = h;
-        }
-    }
-}
-
-impl Supervisor for ScheduleObserver {
-    fn event_mask(&self) -> EventMask {
-        EventMask::of(&[
-            EventKind::Sync,
-            EventKind::WeakAcquire,
-            EventKind::WeakRelease,
-            EventKind::WeakForcedRelease,
-        ])
-    }
-
-    fn on_event(&mut self, ev: &Event) {
-        self.probe.on_event(ev);
-        match *ev {
-            Event::Sync {
-                thread, kind, addr, ..
-            } => {
-                let tag = match kind {
-                    chimera_runtime::SyncKind::Mutex => 1,
-                    chimera_runtime::SyncKind::Cond => 2,
-                    chimera_runtime::SyncKind::Barrier => 3,
-                    chimera_runtime::SyncKind::Join => 4,
-                    chimera_runtime::SyncKind::Spawn => 5,
-                };
-                self.fold(thread.0, tag, addr as u64);
-            }
-            Event::WeakAcquire { thread, lock, .. } => self.fold(thread.0, 6, u64::from(lock.0)),
-            Event::WeakRelease { thread, lock, .. } => self.fold(thread.0, 7, u64::from(lock.0)),
-            Event::WeakForcedRelease { holder, lock, .. } => {
-                self.fold(holder.0, 8, u64::from(lock.0))
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Resolve a strategy against a program's baseline step count: PCT with
-/// `span: 0` ("auto") gets the measured retired-instruction count so its
-/// change points actually land inside the run.
-pub fn resolve_strategy(sched: SchedStrategy, baseline_instrs: u64) -> SchedStrategy {
-    match sched {
-        SchedStrategy::Pct { depth, span: 0 } => SchedStrategy::Pct {
-            depth,
-            span: baseline_instrs.max(1),
-        },
-        other => other,
-    }
-}
-
 /// Sweep an analyzed (instrumented) program. Divergences, single-holder
 /// violations, instrumented dynamic races, and statically-unpredicted
 /// dynamic races are all failures; [`ExploreReport::clean`] is the
@@ -378,8 +247,11 @@ fn sweep(
                 .map(move |&seed| (si, resolve_strategy(s, instrs), seed))
         })
         .collect();
-    let outcomes = par_map(&combos, |&(si, sched, seed)| {
-        (si, run_cell(program, drd_cross, sched, seed, cfg))
+    let outcomes = par_map_jobs(&combos, cfg.jobs, |&(si, sched, seed)| {
+        (
+            si,
+            run_cell(program, drd_cross, sched, seed, &cfg.exec, cfg.check_drd),
+        )
     });
     let mut strategies: Vec<StrategyReport> = cfg
         .strategies
@@ -418,77 +290,6 @@ fn sweep(
         program: name.to_string(),
         instrumented,
         strategies,
-    }
-}
-
-fn run_cell(
-    program: &Program,
-    drd_cross: Option<(&Program, &BTreeSet<(AccessId, AccessId)>)>,
-    sched: SchedStrategy,
-    seed: u64,
-    cfg: &ExploreConfig,
-) -> SeedOutcome {
-    let run_cfg = ExecConfig {
-        seed,
-        sched,
-        ..cfg.exec
-    };
-    let rec = record(program, &run_cfg);
-    // Hostile replay: same adversarial strategy, different seed. The
-    // recorded order must still fully determine the run.
-    let rep = replay(
-        program,
-        &rec.logs,
-        &ExecConfig {
-            seed: seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
-            sched,
-            ..cfg.exec
-        },
-    );
-    let verdict = verify_determinism(&rec.result, &rep.result);
-    // Probe run: replicate the record configuration exactly (log-cost
-    // flags change virtual-time costs, so only an identically-configured
-    // run revisits the recorded schedule) with the invariant probe and
-    // order hasher attached.
-    let mut obs = ScheduleObserver::default();
-    let probe_result: ExecResult = execute_supervised(
-        program,
-        &ExecConfig {
-            log_sync: true,
-            log_weak: true,
-            log_input: true,
-            timeout_enabled: true,
-            ..run_cfg
-        },
-        &mut obs,
-    );
-    let (drd_races, drd_unpredicted) = if cfg.check_drd {
-        let inst = detect(program, &run_cfg);
-        let unpredicted = drd_cross.map(|(orig, statics)| {
-            let u = detect(orig, &run_cfg);
-            u.report
-                .pairs
-                .iter()
-                .filter(|p| !statics.contains(p))
-                .count()
-        });
-        (Some(inst.report.pairs.len()), unpredicted)
-    } else {
-        (None, None)
-    };
-    SeedOutcome {
-        seed,
-        replay_complete: rep.complete,
-        equivalent: verdict.equivalent,
-        differences: verdict.differences,
-        violations: std::mem::take(&mut obs.probe.violations),
-        preemptions: probe_result.stats.sched_preemptions,
-        forced_releases: rec.result.stats.forced_releases,
-        order_hash: obs.order_hash,
-        prefix_hash: obs.prefix_hash,
-        sync_events: obs.events,
-        drd_races,
-        drd_unpredicted,
     }
 }
 
@@ -583,6 +384,29 @@ mod tests {
         let r1 = explore("racy", &a, &small_cfg());
         let r2 = explore("racy", &a, &small_cfg());
         assert_eq!(r1.to_json(), r2.to_json());
+    }
+
+    #[test]
+    fn parallel_sweep_report_is_byte_identical_to_serial() {
+        let p = compile(RACY).unwrap();
+        let a = analyze(&p, &PipelineConfig::default());
+        let serial = explore(
+            "racy",
+            &a,
+            &ExploreConfig {
+                jobs: 1,
+                ..small_cfg()
+            },
+        );
+        let parallel = explore(
+            "racy",
+            &a,
+            &ExploreConfig {
+                jobs: 3,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | virtual machine | [`chimera_runtime`] |
 //! | record/replay | [`chimera_replay`] |
 //! | benchmarks | [`chimera_workloads`] |
+//! | fleet orchestrator | [`chimera_fleet`] |
 //!
 //! # Quickstart
 //!
@@ -69,9 +70,15 @@ pub use pipeline::{
     DrfCertificate, Measurement, PipelineConfig, TrialSummary,
 };
 
+pub use chimera_fleet::{
+    run_fleet, CellKey, CellOutcome, Corpus, FleetConfig, FleetReport, FleetRun, FleetTarget,
+    Interest, Journal,
+};
+
 // Re-export the member crates for one-stop access.
 pub use chimera_bounds as bounds;
 pub use chimera_drd as drd;
+pub use chimera_fleet as fleet;
 pub use chimera_instrument as instrument;
 pub use chimera_instrument::OptSet;
 pub use chimera_minic as minic;

@@ -1,7 +1,8 @@
 //! Integration smoke tests for the `chimera` command-line binary: every
-//! subcommand (`races`, `plan`, `run`, `record`, `replay`, `ir`, `drd`)
-//! exercised against the checked-in fixture, including the full
-//! file-based record → log file → replay workflow.
+//! subcommand (`races`, `plan`, `run`, `record`, `replay`, `ir`, `drd`,
+//! `explore`, `fleet`) exercised against the checked-in fixture,
+//! including the full file-based record → log file → replay workflow and
+//! the journaled fleet → resume workflow.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -179,6 +180,80 @@ fn record_without_output_path_fails() {
     assert!(!out.status.success());
     let msg = String::from_utf8_lossy(&out.stderr);
     assert!(msg.contains("-o"), "{msg}");
+}
+
+#[test]
+fn explore_jobs_parallel_report_matches_serial() {
+    let dir = tempdir("explore-jobs");
+    let run = |jobs: &str, out_name: &str| {
+        let path = dir.join(out_name);
+        let out = bin()
+            .arg("explore")
+            .arg(fixture())
+            .args(["--strategy", "pct", "--seeds", "2", "--jobs", jobs, "-o"])
+            .arg(&path)
+            .output()
+            .expect("spawn explore");
+        assert!(out.status.success(), "{out:?}");
+        std::fs::read(&path).expect("report written")
+    };
+    assert_eq!(
+        run("1", "serial.json"),
+        run("3", "parallel.json"),
+        "worker count leaked into the explore report"
+    );
+}
+
+#[test]
+fn fleet_journals_resumes_and_keeps_the_report_stable() {
+    let dir = tempdir("fleet-resume");
+    let state = dir.join("state");
+    let report = dir.join("fleet.json");
+    let fleet = |resume: bool| {
+        let mut cmd = bin();
+        cmd.arg("fleet")
+            .arg(fixture())
+            .args(["--seeds", "2", "--check-determinism", "--dir"])
+            .arg(&state)
+            .arg("-o")
+            .arg(&report);
+        if resume {
+            cmd.arg("--resume");
+        }
+        let out = cmd.output().expect("spawn fleet");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let first = fleet(false);
+    assert!(first.contains("6 executed now"), "{first}");
+    assert!(first.contains("fleet passed"), "{first}");
+    assert!(state.join("journal.chfj").exists());
+    assert!(state.join("corpus.chfc").exists());
+    let first_report = std::fs::read(&report).expect("report written");
+    let json = String::from_utf8_lossy(&first_report);
+    for key in ["\"grid\"", "\"covered\"", "\"distinct_orders\"", "\"strategies\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // Immediate resume: zero cells execute, the report bytes don't move.
+    let again = fleet(true);
+    assert!(again.contains("0 executed now"), "{again}");
+    assert!(again.contains("6 journal hit(s)"), "{again}");
+    assert_eq!(std::fs::read(&report).unwrap(), first_report);
+}
+
+#[test]
+fn fleet_raw_flags_expected_divergence_without_failing() {
+    let out = bin()
+        .arg("fleet")
+        .arg(fixture())
+        .args(["--raw", "--seeds", "2", "--strategy", "preempt-bound"])
+        .output()
+        .expect("spawn fleet --raw");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("flagged"), "raw racy fixture not flagged:\n{stdout}");
 }
 
 #[test]

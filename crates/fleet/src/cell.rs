@@ -1,0 +1,433 @@
+//! The exploration **cell**: one `(program, strategy, seed)` probe of the
+//! schedule space, plus the stable keying that makes cells addressable
+//! across processes.
+//!
+//! [`run_cell`] is the single shared per-cell body — record under a
+//! hostile strategy, replay the recording under a *different* seed of the
+//! same strategy, verify observable equivalence, re-run with the
+//! single-holder probe and order hasher attached, optionally cross-check
+//! FastTrack — used by both `chimera::explore` (one-process sweeps) and
+//! the fleet orchestrator (thousands of cells, persisted corpus). Keeping
+//! one body is deliberate: two drivers with private copies of the
+//! record→replay→verify→probe pipeline would drift, and a fleet result
+//! that `explore` cannot reproduce is worthless.
+//!
+//! [`CellKey`] names a cell durably: program digest × strategy encoding ×
+//! seed × execution-config digest. The journal uses it to make fleet
+//! invocations incremental, so the digests must be *stable across
+//! processes* (pure FNV over canonical bytes, no hash-map iteration, no
+//! pointer identity).
+
+use chimera_drd::detect;
+use chimera_minic::ir::{AccessId, Program};
+use chimera_minic::pretty::program_to_string;
+use chimera_replay::logs::fnv64;
+use chimera_replay::{record, replay, verify_determinism};
+use chimera_runtime::{
+    execute_supervised, Event, EventKind, EventMask, ExecConfig, ExecResult, SchedStrategy,
+    SingleHolderProbe, Supervisor,
+};
+use std::collections::BTreeSet;
+
+/// RELAY's static race pairs, for the dynamic-vs-static cross-check.
+pub type StaticPairs = BTreeSet<(AccessId, AccessId)>;
+
+/// Everything observed for one `(strategy, seed)` cell.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The record seed.
+    pub seed: u64,
+    /// The replay consumed every log entry and exited.
+    pub replay_complete: bool,
+    /// Record and replay were observably equivalent.
+    pub equivalent: bool,
+    /// Verifier differences (empty when equivalent).
+    pub differences: Vec<String>,
+    /// Single-holder invariant violations seen by the probe.
+    pub violations: Vec<String>,
+    /// Scheduling perturbations the strategy injected during the
+    /// recorded schedule (PCT priority changes, forced preemptions).
+    pub preemptions: u64,
+    /// Weak-lock forced releases (timeouts / hand-offs) during recording.
+    pub forced_releases: u64,
+    /// FNV-1a hash of the full sync/weak order stream.
+    pub order_hash: u64,
+    /// Hash of the first 32 order events (schedule prefix identity).
+    pub prefix_hash: u64,
+    /// Order events observed.
+    pub sync_events: u64,
+    /// Final memory state hash of the *recorded* run
+    /// ([`chimera_runtime::Memory::state_hash`] via `Machine::fold_ordered`) —
+    /// what `--check-determinism` double-runs diff, kimberlite-style.
+    pub state_hash: u64,
+    /// Dynamic races FastTrack found on the instrumented program
+    /// (`None` when the DRD cross-check was off; must be 0 otherwise).
+    pub drd_races: Option<usize>,
+    /// Dynamic races on the uninstrumented program that RELAY did *not*
+    /// predict statically (`None` when off; must be 0 otherwise).
+    pub drd_unpredicted: Option<usize>,
+}
+
+impl SeedOutcome {
+    /// Replay reproduced the recording and no invariant or DRD check
+    /// failed.
+    pub fn clean(&self) -> bool {
+        self.replay_complete
+            && self.equivalent
+            && self.violations.is_empty()
+            && self.drd_races.unwrap_or(0) == 0
+            && self.drd_unpredicted.unwrap_or(0) == 0
+    }
+
+    /// The replay failed to reproduce the recording.
+    pub fn diverged(&self) -> bool {
+        !(self.replay_complete && self.equivalent)
+    }
+}
+
+/// Observes the sync/weak order of one run: hashes the order stream for
+/// coverage counting and delegates weak-lock events to a
+/// [`SingleHolderProbe`].
+#[derive(Debug, Default)]
+pub struct ScheduleObserver {
+    /// The attached single-holder invariant probe.
+    pub probe: SingleHolderProbe,
+    /// FNV-1a over the order stream so far.
+    pub order_hash: u64,
+    /// The hash frozen after [`PREFIX_EVENTS`] events (or the final hash
+    /// for shorter runs).
+    pub prefix_hash: u64,
+    /// Events folded in.
+    pub events: u64,
+}
+
+/// How many leading order events define a schedule "prefix".
+pub const PREFIX_EVENTS: u64 = 32;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ScheduleObserver {
+    fn fold(&mut self, thread: u32, tag: u64, addr: u64) {
+        let mut h = if self.events == 0 {
+            FNV_OFFSET
+        } else {
+            self.order_hash
+        };
+        for word in [u64::from(thread), tag, addr] {
+            for b in word.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.order_hash = h;
+        self.events += 1;
+        if self.events <= PREFIX_EVENTS {
+            self.prefix_hash = h;
+        }
+    }
+}
+
+impl Supervisor for ScheduleObserver {
+    fn event_mask(&self) -> EventMask {
+        EventMask::of(&[
+            EventKind::Sync,
+            EventKind::WeakAcquire,
+            EventKind::WeakRelease,
+            EventKind::WeakForcedRelease,
+        ])
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.probe.on_event(ev);
+        match *ev {
+            Event::Sync {
+                thread, kind, addr, ..
+            } => {
+                let tag = match kind {
+                    chimera_runtime::SyncKind::Mutex => 1,
+                    chimera_runtime::SyncKind::Cond => 2,
+                    chimera_runtime::SyncKind::Barrier => 3,
+                    chimera_runtime::SyncKind::Join => 4,
+                    chimera_runtime::SyncKind::Spawn => 5,
+                };
+                self.fold(thread.0, tag, addr as u64);
+            }
+            Event::WeakAcquire { thread, lock, .. } => self.fold(thread.0, 6, u64::from(lock.0)),
+            Event::WeakRelease { thread, lock, .. } => self.fold(thread.0, 7, u64::from(lock.0)),
+            Event::WeakForcedRelease { holder, lock, .. } => {
+                self.fold(holder.0, 8, u64::from(lock.0))
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Resolve a strategy against a program's baseline step count: PCT with
+/// `span: 0` ("auto") gets the measured retired-instruction count so its
+/// change points actually land inside the run.
+pub fn resolve_strategy(sched: SchedStrategy, baseline_instrs: u64) -> SchedStrategy {
+    match sched {
+        SchedStrategy::Pct { depth, span: 0 } => SchedStrategy::Pct {
+            depth,
+            span: baseline_instrs.max(1),
+        },
+        other => other,
+    }
+}
+
+/// Run one exploration cell: record under `(sched, seed)`, hostile-replay
+/// under a derived seed of the same strategy, verify, probe the
+/// single-holder invariant while hashing the order stream, and (with
+/// `check_drd`) cross-check FastTrack against `drd_cross`'s static pairs.
+///
+/// This is the one per-cell body shared by `chimera explore` and
+/// `chimera fleet`; the result is a pure function of
+/// `(program, sched, seed, exec, check_drd)`.
+pub fn run_cell(
+    program: &Program,
+    drd_cross: Option<(&Program, &StaticPairs)>,
+    sched: SchedStrategy,
+    seed: u64,
+    exec: &ExecConfig,
+    check_drd: bool,
+) -> SeedOutcome {
+    let run_cfg = ExecConfig {
+        seed,
+        sched,
+        ..*exec
+    };
+    let rec = record(program, &run_cfg);
+    // Hostile replay: same adversarial strategy, different seed. The
+    // recorded order must still fully determine the run.
+    let rep = replay(
+        program,
+        &rec.logs,
+        &ExecConfig {
+            seed: seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
+            sched,
+            ..*exec
+        },
+    );
+    let verdict = verify_determinism(&rec.result, &rep.result);
+    // Probe run: replicate the record configuration exactly (log-cost
+    // flags change virtual-time costs, so only an identically-configured
+    // run revisits the recorded schedule) with the invariant probe and
+    // order hasher attached.
+    let mut obs = ScheduleObserver::default();
+    let probe_result: ExecResult = execute_supervised(
+        program,
+        &ExecConfig {
+            log_sync: true,
+            log_weak: true,
+            log_input: true,
+            timeout_enabled: true,
+            ..run_cfg
+        },
+        &mut obs,
+    );
+    let (drd_races, drd_unpredicted) = if check_drd {
+        let inst = detect(program, &run_cfg);
+        let unpredicted = drd_cross.map(|(orig, statics)| {
+            let u = detect(orig, &run_cfg);
+            u.report
+                .pairs
+                .iter()
+                .filter(|p| !statics.contains(p))
+                .count()
+        });
+        (Some(inst.report.pairs.len()), unpredicted)
+    } else {
+        (None, None)
+    };
+    SeedOutcome {
+        seed,
+        replay_complete: rep.complete,
+        equivalent: verdict.equivalent,
+        differences: verdict.differences,
+        violations: std::mem::take(&mut obs.probe.violations),
+        preemptions: probe_result.stats.sched_preemptions,
+        forced_releases: rec.result.stats.forced_releases,
+        order_hash: obs.order_hash,
+        prefix_hash: obs.prefix_hash,
+        sync_events: obs.events,
+        state_hash: rec.result.state_hash,
+        drd_races,
+        drd_unpredicted,
+    }
+}
+
+/// Durable identity of one exploration cell.
+///
+/// Two fleet invocations (possibly days apart, possibly on different
+/// grids) that would execute the same work produce the same key, which is
+/// exactly what lets `--resume` skip it. Strategy parameters are keyed
+/// *unresolved* (PCT auto-span as written, before per-program sizing):
+/// resolution is a deterministic function of the program and exec
+/// config, both already in the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// FNV-1a digest of the canonical pretty-printed program.
+    pub program: u64,
+    /// Strategy discriminant: 0 = jitter, 1 = pct, 2 = preempt-bound.
+    pub strat: u8,
+    /// First strategy parameter (PCT depth / preemption budget).
+    pub strat_a: u64,
+    /// Second strategy parameter (PCT span / preemption period).
+    pub strat_b: u64,
+    /// The record seed.
+    pub seed: u64,
+    /// Digest of the execution configuration and check flags
+    /// ([`exec_digest`]).
+    pub exec: u64,
+}
+
+impl CellKey {
+    /// Build a key for `(program, sched, seed)` under an already-computed
+    /// program digest and exec digest.
+    pub fn new(program: u64, sched: SchedStrategy, seed: u64, exec: u64) -> CellKey {
+        let (strat, strat_a, strat_b) = strategy_code(sched);
+        CellKey {
+            program,
+            strat,
+            strat_a,
+            strat_b,
+            seed,
+            exec,
+        }
+    }
+
+    /// Human-readable strategy name for this key.
+    pub fn strategy_name(&self) -> &'static str {
+        match self.strat {
+            0 => "jitter",
+            1 => "pct",
+            _ => "preempt-bound",
+        }
+    }
+}
+
+/// Canonical `(discriminant, a, b)` encoding of a strategy.
+pub fn strategy_code(sched: SchedStrategy) -> (u8, u64, u64) {
+    match sched {
+        SchedStrategy::ClockJitter => (0, 0, 0),
+        SchedStrategy::Pct { depth, span } => (1, u64::from(depth), span),
+        SchedStrategy::PreemptBound { budget, period } => (2, u64::from(budget), period),
+    }
+}
+
+/// Inverse of [`strategy_code`]; rejects unknown discriminants (journals
+/// written by future builds must fail loudly, not misparse).
+pub fn strategy_from_code(code: u8, a: u64, b: u64) -> Result<SchedStrategy, String> {
+    Ok(match code {
+        0 => SchedStrategy::ClockJitter,
+        1 => SchedStrategy::Pct {
+            depth: u32::try_from(a).map_err(|_| "pct depth overflow".to_string())?,
+            span: b,
+        },
+        2 => SchedStrategy::PreemptBound {
+            budget: u32::try_from(a).map_err(|_| "preempt budget overflow".to_string())?,
+            period: b,
+        },
+        other => return Err(format!("unknown strategy code {other}")),
+    })
+}
+
+/// Stable digest of a program: FNV-1a over its canonical pretty-printed
+/// IR. Any semantic edit (different instrumentation plan, different
+/// source) changes the text, so stale journal entries can never be
+/// mistaken for the current program's cells.
+pub fn program_digest(program: &Program) -> u64 {
+    fnv64(program_to_string(program).as_bytes())
+}
+
+/// Stable digest of the execution configuration a cell runs under, plus
+/// the check flags that change what a cell's outcome even *means*
+/// (`check_drd` adds detector columns, `check_determinism` adds the
+/// double-run verdict). Seed, strategy, and orchestration-level
+/// parallelism are deliberately excluded — the first two are keyed
+/// separately, the last cannot affect any outcome bit.
+pub fn exec_digest(exec: &ExecConfig, check_drd: bool, check_determinism: bool) -> u64 {
+    // Debug formatting of the plain-data config structs is canonical
+    // within a build and changes only when the config surface itself
+    // changes — exactly when old journal entries *should* be invalidated.
+    let canon = format!(
+        "cost={:?}|jitter={:?}|io={:?}|max_steps={}|weak_timeout={}|timeout_enabled={}|\
+         log={}{}{}|was={}|drd={}|det={}",
+        exec.cost,
+        exec.jitter,
+        exec.io,
+        exec.max_steps,
+        exec.weak_timeout,
+        exec.timeout_enabled,
+        exec.log_sync as u8,
+        exec.log_weak as u8,
+        exec.log_input as u8,
+        exec.weak_always_succeed as u8,
+        check_drd as u8,
+        check_determinism as u8,
+    );
+    fnv64(canon.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_minic::compile;
+
+    const RACY: &str = "int g;
+        void w(int v) { int i; int x;
+            for (i = 0; i < 40; i = i + 1) { x = g; g = x + v; } }
+        int main() { int t; t = spawn(w, 1); w(2); join(t); print(g); return 0; }";
+
+    #[test]
+    fn run_cell_is_a_pure_function_of_its_key() {
+        let p = compile(RACY).unwrap();
+        let exec = ExecConfig::default();
+        let a = run_cell(&p, None, SchedStrategy::pct(3), 7, &exec, false);
+        let b = run_cell(&p, None, SchedStrategy::pct(3), 7, &exec, false);
+        assert_eq!(a.order_hash, b.order_hash);
+        assert_eq!(a.prefix_hash, b.prefix_hash);
+        assert_eq!(a.state_hash, b.state_hash);
+        assert_eq!(a.equivalent, b.equivalent);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn digests_separate_programs_configs_and_strategies() {
+        let p = compile(RACY).unwrap();
+        let q = compile("int main() { print(1); return 0; }").unwrap();
+        assert_ne!(program_digest(&p), program_digest(&q));
+
+        let exec = ExecConfig::default();
+        let base = exec_digest(&exec, false, false);
+        assert_eq!(base, exec_digest(&exec, false, false));
+        assert_ne!(base, exec_digest(&exec, true, false));
+        assert_ne!(base, exec_digest(&exec, false, true));
+        let slow = ExecConfig {
+            weak_timeout: 9,
+            ..exec
+        };
+        assert_ne!(base, exec_digest(&slow, false, false));
+
+        let k1 = CellKey::new(1, SchedStrategy::pct(3), 5, base);
+        let k2 = CellKey::new(1, SchedStrategy::pct(4), 5, base);
+        let k3 = CellKey::new(1, SchedStrategy::preempt_bound(), 5, base);
+        assert!(k1 != k2 && k1 != k3 && k2 != k3);
+        assert_eq!(k1.strategy_name(), "pct");
+        assert_eq!(k3.strategy_name(), "preempt-bound");
+    }
+
+    #[test]
+    fn strategy_codes_round_trip() {
+        for s in [
+            SchedStrategy::ClockJitter,
+            SchedStrategy::pct(3),
+            SchedStrategy::Pct { depth: 2, span: 99 },
+            SchedStrategy::preempt_bound(),
+        ] {
+            let (c, a, b) = strategy_code(s);
+            assert_eq!(strategy_from_code(c, a, b).unwrap(), s);
+        }
+        assert!(strategy_from_code(9, 0, 0).is_err());
+    }
+}

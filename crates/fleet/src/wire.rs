@@ -1,0 +1,185 @@
+//! Byte-level helpers shared by the corpus and journal containers.
+//!
+//! Both files reuse the replay-log container idiom (DESIGN.md §12): a
+//! 4-byte magic, a varint format version, a checksummed varint-framed
+//! header, then one checksummed varint-framed body per entry. Decoding a
+//! hostile or truncated file must fail with an error that names the
+//! section — never panic, never silently accept a half-file — so the
+//! reader here mirrors `chimera_replay`'s strict sequential [`Reader`]
+//! but threads a section label through every failure.
+
+pub use chimera_replay::logs::{fnv32, fnv64, push_varint};
+
+/// Strict sequential reader over an untrusted byte buffer.
+///
+/// Every length comes from the wire and is bounds-checked *before* any
+/// arithmetic on the cursor, so attacker-controlled u64 lengths cannot
+/// overflow `pos`.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer; the cursor starts at byte 0.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take exactly `n` bytes, or fail naming `what`.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if n > self.bytes.len() - self.pos {
+            return Err(format!("{what}: truncated"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode one LEB128 varint, or fail naming `what`.
+    pub fn varint(&mut self, what: &str) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.take(1, what)?[0];
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(format!("{what}: varint overflow"));
+            }
+        }
+    }
+
+    /// Varint that must fit in 32 bits (counts, string lengths).
+    pub fn varint_u32(&mut self, what: &str) -> Result<u32, String> {
+        let v = self.varint(what)?;
+        if v > u32::MAX as u64 {
+            return Err(format!("{what}: count overflow"));
+        }
+        Ok(v as u32)
+    }
+
+    /// Read a raw little-endian u64 (hashes and digests are stored
+    /// unvarinted: they are uniformly distributed, varints would bloat
+    /// them to 10 bytes).
+    pub fn u64_raw(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a raw little-endian u32 (frame checksums).
+    pub fn u32_raw(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
+/// Append a length-prefixed, checksummed frame: `varint(len) ++
+/// fnv32(body) ++ body`.
+pub fn push_frame(out: &mut Vec<u8>, body: &[u8]) {
+    push_varint(out, body.len() as u64);
+    out.extend_from_slice(&fnv32(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Read one frame written by [`push_frame`], verifying its checksum.
+///
+/// The declared length is plausibility-bounded by the bytes actually
+/// remaining, so a hostile length fails as truncation instead of an
+/// allocation attempt.
+pub fn read_frame<'a>(r: &mut Reader<'a>, what: &str) -> Result<&'a [u8], String> {
+    let len = r.varint(what)? as usize;
+    let sum = r.u32_raw(what)?;
+    let body = r.take(len, what)?;
+    if fnv32(body) != sum {
+        return Err(format!("{what}: checksum mismatch"));
+    }
+    Ok(body)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Read a string written by [`push_str`] (capped at 4 KiB — names, not
+/// payloads).
+pub fn read_str(r: &mut Reader, what: &str) -> Result<String, String> {
+    let len = r.varint(what)? as usize;
+    if len > 4096 {
+        return Err(format!("{what}: implausible string length {len}"));
+    }
+    let bytes = r.take(len, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what}: invalid utf-8"))
+}
+
+/// Atomically replace `path` with `bytes`: write a sibling temp file,
+/// then rename over the target, so a crash mid-write never leaves a
+/// torn container for the next `--resume` to trip on.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_name_their_section() {
+        let mut buf = Vec::new();
+        push_frame(&mut buf, b"hello");
+        push_frame(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_frame(&mut r, "a").unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, "b").unwrap(), b"");
+        assert_eq!(r.remaining(), 0);
+
+        // Flip a body byte: the named checksum error fires.
+        let mut bad = buf.clone();
+        bad[5] ^= 0x40;
+        let mut r = Reader::new(&bad);
+        let err = read_frame(&mut r, "entry 0").unwrap_err();
+        assert!(err.contains("entry 0"), "{err}");
+
+        // Truncate inside the first body.
+        let mut r = Reader::new(&buf[..3]);
+        let err = read_frame(&mut r, "entry 0").unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn hostile_lengths_fail_without_allocating() {
+        // varint says "u64::MAX bytes follow": must error as truncation.
+        let mut buf = Vec::new();
+        push_varint(&mut buf, u64::MAX / 2);
+        buf.extend_from_slice(&[0u8; 8]);
+        let mut r = Reader::new(&buf);
+        assert!(read_frame(&mut r, "x").is_err());
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_garbage() {
+        let mut buf = Vec::new();
+        push_str(&mut buf, "pfscan");
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_str(&mut r, "name").unwrap(), "pfscan");
+
+        let mut bad = Vec::new();
+        push_varint(&mut bad, 1 << 20);
+        let mut r = Reader::new(&bad);
+        assert!(read_str(&mut r, "name").unwrap_err().contains("implausible"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Container hardening for the fleet's two on-disk files: property
+//! round-trips, every-prefix truncation, single-byte-flip detection, and
+//! random-soup parsing — mirroring the `ReplayLogs::from_bytes` hostile
+//! suite. Every failure must be a named-section `Err`, never a panic.
+
+use chimera_fleet::{CellKey, CellOutcome, Corpus, CorpusEntry, Interest, Journal};
+use chimera_testkit::prop::{self, Gen};
+use chimera_testkit::{prop_assert, prop_assert_eq};
+
+fn arb_key() -> Gen<CellKey> {
+    Gen::new(|s| CellKey {
+        program: s.raw_u64(),
+        strat: s.int(0u32..3) as u8,
+        strat_a: s.int(0u64..1_000),
+        strat_b: s.int(0u64..100_000),
+        seed: s.raw_u64(),
+        exec: s.raw_u64(),
+    })
+}
+
+fn arb_outcome() -> Gen<CellOutcome> {
+    Gen::new(|s| CellOutcome {
+        replay_complete: s.bool(),
+        equivalent: s.bool(),
+        deterministic: if s.bool() { Some(s.bool()) } else { None },
+        differences: s.int(0u32..5),
+        violations: s.int(0u32..5),
+        preemptions: s.int(0u64..1_000),
+        forced_releases: s.int(0u64..10),
+        order_hash: s.raw_u64(),
+        prefix_hash: s.raw_u64(),
+        state_hash: s.raw_u64(),
+        sync_events: s.int(0u64..10_000),
+        drd_races: if s.bool() { Some(s.int(0u32..9)) } else { None },
+        drd_unpredicted: if s.bool() { Some(s.int(0u32..9)) } else { None },
+    })
+}
+
+fn arb_journal() -> Gen<Journal> {
+    Gen::new(|s| {
+        const LABELS: [&str; 4] = ["", "grid", "nine workloads × all", "后缀 utf-8 label"];
+        let mut j = Journal {
+            label: LABELS[s.index(LABELS.len())].to_string(),
+            ..Journal::default()
+        };
+        let n = s.int(0usize..12);
+        for _ in 0..n {
+            let key = s.draw(&arb_key());
+            let outcome = s.draw(&arb_outcome());
+            j.insert(key, outcome);
+        }
+        j
+    })
+}
+
+fn arb_corpus() -> Gen<Corpus> {
+    Gen::new(|s| {
+        const NAMES: [&str; 4] = ["pfscan", "aget", "racy_counter", "x"];
+        let mut c = Corpus::default();
+        let n = s.int(0usize..12);
+        for _ in 0..n {
+            let key = s.draw(&arb_key());
+            c.add(CorpusEntry {
+                key,
+                program: NAMES[s.index(NAMES.len())].to_string(),
+                interest: Interest(s.int(0u32..64) as u8),
+                order_hash: s.raw_u64(),
+                prefix_hash: s.raw_u64(),
+                state_hash: s.raw_u64(),
+                preemptions: s.int(0u64..100),
+                forced_releases: s.int(0u64..10),
+                sync_events: s.int(0u64..10_000),
+            });
+        }
+        c
+    })
+}
+
+/// A fixed journal exercising every optional field shape, for the
+/// deterministic truncation/flip sweeps.
+fn rich_journal() -> Journal {
+    let mut j = Journal {
+        label: "hostile-suite".into(),
+        ..Journal::default()
+    };
+    let outcomes = [
+        CellOutcome {
+            replay_complete: true,
+            equivalent: true,
+            deterministic: None,
+            differences: 0,
+            violations: 0,
+            preemptions: 3,
+            forced_releases: 0,
+            order_hash: 0x1122_3344_5566_7788,
+            prefix_hash: 0x99aa_bbcc_ddee_ff00,
+            state_hash: 0x0102_0304_0506_0708,
+            sync_events: 41,
+            drd_races: None,
+            drd_unpredicted: None,
+        },
+        CellOutcome {
+            replay_complete: false,
+            equivalent: false,
+            deterministic: Some(false),
+            differences: 2,
+            violations: 1,
+            preemptions: 300,
+            forced_releases: 4,
+            order_hash: u64::MAX,
+            prefix_hash: 0,
+            state_hash: 1,
+            sync_events: 0,
+            drd_races: Some(7),
+            drd_unpredicted: Some(1),
+        },
+        CellOutcome {
+            replay_complete: true,
+            equivalent: false,
+            deterministic: Some(true),
+            differences: 1,
+            violations: 0,
+            preemptions: 0,
+            forced_releases: 0,
+            order_hash: 42,
+            prefix_hash: 42,
+            state_hash: 42,
+            sync_events: 1,
+            drd_races: Some(0),
+            drd_unpredicted: None,
+        },
+    ];
+    for (i, o) in outcomes.into_iter().enumerate() {
+        j.insert(
+            CellKey {
+                program: 0xdead_beef_cafe_f00d ^ i as u64,
+                strat: i as u8,
+                strat_a: 3,
+                strat_b: 1 << (7 * i),
+                seed: i as u64 + 1,
+                exec: 0x5151_5151_5151_5151,
+            },
+            o,
+        );
+    }
+    j
+}
+
+fn rich_corpus() -> Corpus {
+    let mut c = Corpus::default();
+    for i in 0..3u64 {
+        c.add(CorpusEntry {
+            key: CellKey {
+                program: 0xabad_1dea ^ i,
+                strat: (i % 3) as u8,
+                strat_a: i,
+                strat_b: 1 << (9 * i),
+                seed: i,
+                exec: 0x42,
+            },
+            program: ["pfscan", "aget", "racy_counter"][i as usize].into(),
+            interest: Interest(1 << i),
+            order_hash: 0x1000 + i,
+            prefix_hash: 0x2000 + i,
+            state_hash: 0x3000 + i,
+            preemptions: 17 * i,
+            forced_releases: i,
+            sync_events: 100 + i,
+        });
+    }
+    c
+}
+
+#[test]
+fn journal_round_trip_property() {
+    prop::check("journal_round_trip_property", &arb_journal(), |j| {
+        let back = match Journal::from_bytes(&j.to_bytes()) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("round trip failed: {e}")),
+        };
+        prop_assert_eq!(&back, j);
+        Ok(())
+    });
+}
+
+#[test]
+fn corpus_round_trip_property() {
+    prop::check("corpus_round_trip_property", &arb_corpus(), |c| {
+        let back = match Corpus::from_bytes(&c.to_bytes()) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("round trip failed: {e}")),
+        };
+        prop_assert_eq!(&back, c);
+        prop_assert_eq!(back.distinct_orders(), c.distinct_orders());
+        Ok(())
+    });
+}
+
+#[test]
+fn every_truncation_of_a_valid_journal_errors() {
+    // The parser consumes fields strictly sequentially and a valid buffer
+    // parses to exactly its last byte, so every proper prefix must run out
+    // mid-field and report an error — never panic, never accept silently.
+    let bytes = rich_journal().to_bytes();
+    for len in 0..bytes.len() {
+        let r = Journal::from_bytes(&bytes[..len]);
+        assert!(r.is_err(), "prefix of {len}/{} bytes parsed Ok", bytes.len());
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_corpus_errors() {
+    let bytes = rich_corpus().to_bytes();
+    for len in 0..bytes.len() {
+        let r = Corpus::from_bytes(&bytes[..len]);
+        assert!(r.is_err(), "prefix of {len}/{} bytes parsed Ok", bytes.len());
+    }
+}
+
+#[test]
+fn single_byte_flips_are_detected_in_journal() {
+    // Unlike the replay container (whose version byte reroutes to the
+    // unchecksummed v1 parser), every fleet container byte is covered:
+    // magic, version, or a checksummed frame. A flip anywhere must error.
+    let bytes = rich_journal().to_bytes();
+    for off in 0..bytes.len() {
+        let mut b = bytes.clone();
+        b[off] ^= 1;
+        assert!(
+            Journal::from_bytes(&b).is_err(),
+            "flip at offset {off} decoded Ok"
+        );
+    }
+}
+
+#[test]
+fn single_byte_flips_are_detected_in_corpus() {
+    let bytes = rich_corpus().to_bytes();
+    for off in 0..bytes.len() {
+        let mut b = bytes.clone();
+        b[off] ^= 1;
+        assert!(
+            Corpus::from_bytes(&b).is_err(),
+            "flip at offset {off} decoded Ok"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_name_the_failing_section() {
+    let err = Journal::from_bytes(b"NOPE").unwrap_err();
+    assert!(err.contains("journal magic"), "{err}");
+
+    let mut v99 = b"CHFJ".to_vec();
+    v99.push(99);
+    let err = Journal::from_bytes(&v99).unwrap_err();
+    assert!(err.contains("unsupported version 99"), "{err}");
+
+    // Truncate inside the second entry's frame: the error must name it.
+    let j = rich_journal();
+    let bytes = j.to_bytes();
+    let one_entry = Journal {
+        entries: j.entries.iter().take(1).map(|(k, v)| (*k, *v)).collect(),
+        label: j.label.clone(),
+    };
+    // Same header claims 3 entries; cutting to roughly one entry's worth
+    // of bytes fails inside entry 0 or 1, and the section name says so.
+    let cut = one_entry.to_bytes().len() + 4;
+    let err = Journal::from_bytes(&bytes[..cut]).unwrap_err();
+    assert!(err.contains("journal entry"), "{err}");
+
+    let err = Corpus::from_bytes(b"CHFJ\x01").unwrap_err();
+    assert!(err.contains("corpus magic"), "{err}");
+
+    // Trailing garbage after a fully valid container.
+    let mut extra = rich_corpus().to_bytes();
+    extra.push(0);
+    let err = Corpus::from_bytes(&extra).unwrap_err();
+    assert!(err.contains("trailing garbage"), "{err}");
+}
+
+#[test]
+fn duplicate_keys_on_the_wire_are_rejected() {
+    // A hand-crafted container repeating one entry frame twice: the
+    // in-memory map would silently collapse it, so the parser must reject.
+    let mut j = Journal::default();
+    j.insert(
+        CellKey {
+            program: 1,
+            strat: 0,
+            strat_a: 0,
+            strat_b: 0,
+            seed: 1,
+            exec: 2,
+        },
+        CellOutcome {
+            replay_complete: true,
+            equivalent: true,
+            deterministic: None,
+            differences: 0,
+            violations: 0,
+            preemptions: 0,
+            forced_releases: 0,
+            order_hash: 5,
+            prefix_hash: 5,
+            state_hash: 5,
+            sync_events: 5,
+            drd_races: None,
+            drd_unpredicted: None,
+        },
+    );
+    let once = j.to_bytes();
+    // Layout: magic(4) ++ version(1) ++ header frame ++ entry frame. Count
+    // the header frame's length to find where the entry frame begins.
+    let header_len = once[5] as usize; // single-byte varint for tiny headers
+    let entry_start = 5 + 1 + 4 + header_len;
+    let entry = once[entry_start..].to_vec();
+    let mut twice = Vec::new();
+    twice.extend_from_slice(b"CHFJ");
+    twice.push(1); // version
+    // Header: count = 2 (varint) ++ label length (empty).
+    let header = vec![2, j.label.len() as u8];
+    chimera_fleet::wire::push_frame(&mut twice, &header);
+    twice.extend_from_slice(&entry);
+    twice.extend_from_slice(&entry);
+    let err = Journal::from_bytes(&twice).unwrap_err();
+    assert!(err.contains("duplicate cell key"), "{err}");
+}
+
+#[test]
+fn corrupted_valid_journals_never_panic() {
+    let gen = arb_journal().flat_map(|j| {
+        let bytes = j.to_bytes();
+        Gen::new(move |s| {
+            let mut b = bytes.clone();
+            let flips = s.int(1usize..5);
+            for _ in 0..flips {
+                let i = s.index(b.len());
+                b[i] = s.int(0u32..256) as u8;
+            }
+            if s.bool() {
+                let keep = s.index(b.len() + 1);
+                b.truncate(keep);
+            }
+            b
+        })
+    });
+    prop::check("corrupted_valid_journals_never_panic", &gen, |bytes| {
+        if let Ok(parsed) = Journal::from_bytes(bytes) {
+            // Corruption may still decode (a flipped hash byte, say);
+            // whatever comes back must round-trip its own re-encoding.
+            let again = Journal::from_bytes(&parsed.to_bytes())
+                .map_err(|e| format!("re-encode failed: {e}"))?;
+            prop_assert_eq!(again, parsed);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn corrupted_valid_corpora_never_panic() {
+    let gen = arb_corpus().flat_map(|c| {
+        let bytes = c.to_bytes();
+        Gen::new(move |s| {
+            let mut b = bytes.clone();
+            let flips = s.int(1usize..5);
+            for _ in 0..flips {
+                let i = s.index(b.len());
+                b[i] = s.int(0u32..256) as u8;
+            }
+            if s.bool() {
+                let keep = s.index(b.len() + 1);
+                b.truncate(keep);
+            }
+            b
+        })
+    });
+    prop::check("corrupted_valid_corpora_never_panic", &gen, |bytes| {
+        if let Ok(parsed) = Corpus::from_bytes(bytes) {
+            let again = Corpus::from_bytes(&parsed.to_bytes())
+                .map_err(|e| format!("re-encode failed: {e}"))?;
+            prop_assert_eq!(again, parsed);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn random_soup_never_panics() {
+    let gen = prop::vec_of(prop::any_u8(), 0..256);
+    prop::check("random_soup_never_panics", &gen, |bytes| {
+        let _ = Journal::from_bytes(bytes);
+        let _ = Corpus::from_bytes(bytes);
+        prop_assert!(true);
+        Ok(())
+    });
+}

@@ -43,7 +43,7 @@ pub mod world;
 
 pub use cost::{CostModel, Jitter};
 pub use flat::{fusion_summary, FusionSummary};
-pub use parallel::{par_map, serial_requested};
+pub use parallel::{par_map, par_map_jobs, serial_requested};
 pub use event::{
     Event, EventKind, EventMask, NullSupervisor, OrderPoint, Supervisor, SyncKind, ThreadId,
 };

@@ -33,6 +33,7 @@ fn sweep_cfg(seeds: Vec<u64>, check_drd: bool) -> ExploreConfig {
         seeds,
         exec: ExecConfig::default(),
         check_drd,
+        jobs: 0,
     }
 }
 
