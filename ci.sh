@@ -114,6 +114,51 @@ done
 rm -rf "$fleet_dir"
 echo "fleet grid journaled once, resumed twice with zero re-executions"
 
+echo "== plan round-trip gate (evidence -> demotion -> replanned run) =="
+# The full hybrid loop on the CLI (DESIGN.md §15): a hostile sweep
+# exports evidence for the demotable fixture, `plan` certifies demotion
+# of every statically-alarmed-but-dynamically-clean pair, and the
+# replanned run replays deterministically and race-free under --verify.
+# The differential suite behind it is tests/plan_soundness.rs.
+plan_dir=$(mktemp -d)
+$chimera_bin explore fixtures/partitioned_sum.mc --seeds 3 --evidence "$plan_dir"
+plan_out=$($chimera_bin plan fixtures/partitioned_sum.mc --evidence "$plan_dir" \
+    -o "$plan_dir/partitioned_sum.chpl")
+echo "$plan_out" | grep -q "2 of 2 static pair(s) demoted" || {
+    echo "demotable fixture did not fully demote:" >&2
+    echo "$plan_out" >&2
+    exit 1
+}
+$chimera_bin run fixtures/partitioned_sum.mc --plan "$plan_dir/partitioned_sum.chpl" --verify \
+    | grep -q "verified under plan" || {
+    echo "replanned run failed verification" >&2
+    exit 1
+}
+# Negative side 1: the racy fixture's dynamically-confirmed pairs must
+# never earn demotion (its remaining false-positive pair may).
+$chimera_bin explore fixtures/racy_counter.mc --seeds 3 --evidence "$plan_dir"
+racy_out=$($chimera_bin plan fixtures/racy_counter.mc --evidence "$plan_dir" \
+    -o "$plan_dir/racy_counter.chpl")
+echo "$racy_out" | grep -q "keep .*dynamically confirmed racy" || {
+    echo "racy fixture lost its dynamically-confirmed kept pairs:" >&2
+    echo "$racy_out" >&2
+    exit 1
+}
+# Negative side 2: coverage below threshold refuses with the named code.
+if refuse_out=$($chimera_bin plan fixtures/partitioned_sum.mc --evidence "$plan_dir" \
+    --min-seeds 99 -o "$plan_dir/never.chpl" 2>&1); then
+    echo "under-covered evidence was not refused:" >&2
+    echo "$refuse_out" >&2
+    exit 1
+fi
+echo "$refuse_out" | grep -q "demotion refused (insufficient-seeds)" || {
+    echo "refusal did not name its code:" >&2
+    echo "$refuse_out" >&2
+    exit 1
+}
+rm -rf "$plan_dir"
+echo "plan round-trip: demoted, verified, racy pairs kept, thin coverage refused"
+
 echo "== clippy (deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -158,6 +203,14 @@ echo "== fleet throughput smoke (1 sample) =="
 # refreshed manually (see EXPERIMENTS.md).
 CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
     cargo bench --offline -p chimera-bench --bench fleet_throughput
+
+echo "== instrumentation overhead smoke (1 sample) =="
+# Proves the evidence -> plan -> overhead loop end to end and asserts
+# the payoff: planned makespan ≤ full on every workload and strictly
+# below on ≥3/4 (the bench itself asserts both); committed
+# BENCH_plan.json is refreshed manually (see EXPERIMENTS.md).
+CHIMERA_BENCH_SAMPLES=1 CHIMERA_BENCH_WARMUP=1 \
+    cargo bench --offline -p chimera-bench --bench instr_overhead
 
 echo "== dependency purity =="
 # Every node in the full dependency graph (normal, dev, and build deps)

@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! chimera races <file.mc>                      # static race report
-//! chimera plan <file.mc>                       # instrumentation plan
+//! chimera plan <file.mc> [--evidence DIR --min-seeds N --min-strategies N
+//!               -o plan.chpl]                  # instrumentation plan /
+//!                                              # certified demotion plan
 //! chimera run <file.mc> [--seed N] [--parallel [W]] [--no-jitter] [--json]
-//!                                              # execute (uninstrumented)
+//!             [--plan plan.chpl [--verify]]    # execute (uninstrumented,
+//!                                              # or under a certified plan)
 //! chimera record <file.mc> -o <log> [--seed N] # instrument + record
 //! chimera replay <file.mc> <log> [--seed N] [--bisect]
 //!                                              # replay from a log file
 //! chimera ir <file.mc>                         # dump the IR
 //! chimera drd <file.mc> [--instrumented]       # dynamic race report
 //! chimera explore [file.mc] [--strategy S] [--seeds N] [--jobs N] [--drd]
-//!                 [-o r.json]                  # adversarial-schedule sweep
+//!                 [--evidence DIR] [-o r.json] # adversarial-schedule sweep
 //! chimera fleet [file.mc] [--strategy S] [--seeds N] [--jobs N] [--drd]
 //!               [--dir D] [--resume] [--check-determinism] [--max-cells N]
-//!               [--raw] [-o r.json]            # exploration-cell fleet
+//!               [--raw] [--evidence DIR] [-o r.json]  # exploration-cell fleet
 //! ```
 //!
 //! `record` and `replay` must agree on the file and options so the
@@ -45,6 +48,17 @@
 //! invariant is ever violated, and writes a JSON schedule-coverage report
 //! with `-o`. `--jobs N` runs the sweep on N worker threads (0 = one per
 //! core; `CHIMERA_SERIAL=1` forces serial) with a bit-identical report.
+//!
+//! The hybrid loop: `explore --evidence DIR` (or `fleet --evidence DIR`)
+//! additionally sweeps each target through `chimera_plan::gather_evidence`
+//! and writes a checksummed `.chev` evidence container per program. `plan
+//! --evidence DIR` then consumes the evidence — refusing with a named
+//! error if coverage is below `--min-seeds`/`--min-strategies`, any cell
+//! was unclean, or a dynamic race was statically unpredicted — and emits
+//! a certified `.chpl` demotion plan. `run --plan plan.chpl` applies it
+//! (digest-checked), executing with the demoted weak-locks stripped;
+//! `--verify` re-runs FastTrack plus a hostile replay and, on any
+//! contradiction, names the demoted pair it refutes.
 //!
 //! `fleet` scales the same per-cell pipeline to campaign size: the full
 //! `programs × strategies × seeds` grid runs work-stealing across `--jobs`
@@ -95,6 +109,11 @@ struct Cli {
     check_determinism: bool,
     max_cells: Option<u64>,
     raw: bool,
+    evidence: Option<String>,
+    min_seeds: u32,
+    min_strategies: u32,
+    plan_file: Option<String>,
+    verify: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -127,6 +146,11 @@ fn parse_cli() -> Result<Cli, String> {
         check_determinism: false,
         max_cells: None,
         raw: false,
+        evidence: None,
+        min_seeds: 3,
+        min_strategies: 2,
+        plan_file: None,
+        verify: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -222,6 +246,33 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.raw = true;
                 i += 1;
             }
+            "--evidence" => {
+                cli.evidence =
+                    Some(argv.get(i + 1).cloned().ok_or("--evidence needs a directory")?);
+                i += 2;
+            }
+            "--min-seeds" => {
+                cli.min_seeds = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-seeds needs a number")?;
+                i += 2;
+            }
+            "--min-strategies" => {
+                cli.min_strategies = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-strategies needs a number")?;
+                i += 2;
+            }
+            "--plan" => {
+                cli.plan_file = Some(argv.get(i + 1).cloned().ok_or("--plan needs a path")?);
+                i += 2;
+            }
+            "--verify" => {
+                cli.verify = true;
+                i += 1;
+            }
             "--no-jitter" => {
                 // Timing jitter off. This is what arms the speculative
                 // segment engine (and with --parallel its OS-thread
@@ -297,6 +348,34 @@ fn run() -> Result<(), String> {
                     ..PipelineConfig::default()
                 },
             );
+            if let Some(dir) = &cli.evidence {
+                // Evidence-driven path: find this program's evidence
+                // container, demote what the hostile sweep certified
+                // race-free, and write the checksummed plan.
+                let digest = chimera::fleet::cell::program_digest(&analysis.program);
+                let ev = chimera::Evidence::find(std::path::Path::new(dir), digest)?;
+                let thresholds = chimera::Thresholds {
+                    min_seeds: cli.min_seeds,
+                    min_strategies: cli.min_strategies,
+                };
+                let plan = chimera::demote(&ev, &thresholds).map_err(|e| e.to_string())?;
+                println!("{}", plan.describe());
+                for d in &plan.demotions {
+                    println!(
+                        "  demote ({}, {}) — race-free across {} evidence cell(s)",
+                        d.pair.0,
+                        d.pair.1,
+                        d.cells.len()
+                    );
+                }
+                for k in &plan.kept {
+                    println!("  keep   ({}, {}) — dynamically confirmed racy", k.0, k.1);
+                }
+                let out = cli.out.clone().unwrap_or_else(|| "plan.chpl".to_string());
+                plan.save(std::path::Path::new(&out))?;
+                println!("wrote {out}");
+                return Ok(());
+            }
             let p = &analysis.plan;
             println!("race pairs      : {}", analysis.races.pairs.len());
             println!("weak-locks      : {}", p.n_weak_locks);
@@ -318,6 +397,46 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "run" => {
+            if let Some(plan_path) = &cli.plan_file {
+                // Execute under a certified demotion plan: re-analyze,
+                // digest-check the plan against this program, and run the
+                // thinner instrumentation it certifies.
+                let plan = chimera::CertifiedPlan::load(std::path::Path::new(plan_path))?;
+                let analysis = analyze(
+                    &program,
+                    &PipelineConfig {
+                        opts: opts.clone(),
+                        ..PipelineConfig::default()
+                    },
+                );
+                let (planned, iplan) = chimera::apply_plan(
+                    &analysis.program,
+                    &analysis.races,
+                    &analysis.profile,
+                    &opts,
+                    &plan,
+                )?;
+                println!(
+                    "plan: {} of {} pair(s) demoted; weak-locks {} (full instrumentation: {})",
+                    iplan.stats.pairs_demoted,
+                    plan.static_pairs.len(),
+                    planned.weak_locks,
+                    analysis.instrumented.weak_locks,
+                );
+                let r = execute(&planned, &exec);
+                if cli.json {
+                    print!("{}", run_json(&planned, &r, &exec));
+                } else {
+                    report_exec(&r);
+                }
+                if cli.verify {
+                    chimera::verify_under_plan(&planned, &plan, &exec)?;
+                    println!(
+                        "verified under plan: FastTrack race-free, hostile replay equivalent"
+                    );
+                }
+                return Ok(());
+            }
             let r = execute(&program, &exec);
             if cli.json {
                 print!("{}", run_json(&program, &r, &exec));
@@ -492,10 +611,40 @@ fn run_explore(cli: &Cli) -> Result<(), String> {
         }
     }
 
+    let gather = cli.evidence.as_ref().map(|dir| {
+        (
+            std::path::PathBuf::from(dir),
+            chimera::GatherConfig {
+                strategies: cfg.strategies.clone(),
+                seeds: cfg.seeds.clone(),
+                exec: cfg.exec,
+                jobs: cfg.jobs,
+            },
+        )
+    });
+
     let mut reports = Vec::new();
     let mut failed = false;
     for (name, program) in &targets {
         let analysis = analyze(program, &pipeline);
+        if let Some((dir, gcfg)) = &gather {
+            let statics: Vec<_> = analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+            let ev = chimera::gather_evidence(
+                name,
+                &analysis.program,
+                &analysis.instrumented,
+                &statics,
+                gcfg,
+            );
+            let path = ev.save(dir)?;
+            println!(
+                "{name:>8} evidence: {} cell(s), {} static pair(s), {} confirmed racy -> {}",
+                ev.cells.len(),
+                ev.static_pairs.len(),
+                ev.confirmed_racy.len(),
+                path.display()
+            );
+        }
         let report = chimera::explore(name, &analysis, &cfg);
         for st in &report.strategies {
             println!(
@@ -582,23 +731,30 @@ fn run_fleet_cmd(cli: &Cli) -> Result<(), String> {
             sources.push((w.name.to_string(), p));
         }
     }
-    let targets: Vec<FleetTarget> = sources
-        .into_iter()
-        .map(|(name, program)| {
-            if cli.raw {
-                FleetTarget::raw(&name, program)
-            } else {
-                let analysis = analyze(&program, &pipeline);
-                let statics = analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
-                FleetTarget {
-                    name,
-                    program: analysis.instrumented.clone(),
-                    cross: Some((analysis.program.clone(), statics)),
-                    expect_divergence: false,
-                }
+    if cli.raw && cli.evidence.is_some() {
+        return Err(
+            "--evidence needs the instrumented pipeline; it cannot be combined with --raw".into(),
+        );
+    }
+    let mut targets: Vec<FleetTarget> = Vec::new();
+    let mut evidence_inputs: Vec<(String, chimera::Analysis)> = Vec::new();
+    for (name, program) in sources {
+        if cli.raw {
+            targets.push(FleetTarget::raw(&name, program));
+        } else {
+            let analysis = analyze(&program, &pipeline);
+            let statics = analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+            targets.push(FleetTarget {
+                name: name.clone(),
+                program: analysis.instrumented.clone(),
+                cross: Some((analysis.program.clone(), statics)),
+                expect_divergence: false,
+            });
+            if cli.evidence.is_some() {
+                evidence_inputs.push((name, analysis));
             }
-        })
-        .collect();
+        }
+    }
 
     let cfg = FleetConfig {
         strategies,
@@ -669,6 +825,37 @@ fn run_fleet_cmd(cli: &Cli) -> Result<(), String> {
     if let Some(out) = &cli.out {
         std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("wrote {out}");
+    }
+
+    // Evidence export runs its own gather sweep (the fleet journal stores
+    // only counts, not pair identities), written even when the grid fails
+    // — unclean cells are themselves evidence.
+    if let Some(dir) = &cli.evidence {
+        let dir = std::path::PathBuf::from(dir);
+        let gcfg = chimera::GatherConfig {
+            strategies: cfg.strategies.clone(),
+            seeds: cfg.seeds.clone(),
+            exec: cfg.exec,
+            jobs: cfg.jobs,
+        };
+        for (name, analysis) in &evidence_inputs {
+            let statics: Vec<_> = analysis.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+            let ev = chimera::gather_evidence(
+                name,
+                &analysis.program,
+                &analysis.instrumented,
+                &statics,
+                &gcfg,
+            );
+            let path = ev.save(&dir)?;
+            println!(
+                "{name:>12} evidence: {} cell(s), {} static pair(s), {} confirmed racy -> {}",
+                ev.cells.len(),
+                ev.static_pairs.len(),
+                ev.confirmed_racy.len(),
+                path.display()
+            );
+        }
     }
 
     if !report.passed() {

@@ -237,15 +237,18 @@ fn sweep(
 ) -> ExploreReport {
     let baseline = execute(program, &cfg.exec);
     let instrs = baseline.stats.instrs;
-    let combos: Vec<(usize, SchedStrategy, u64)> = cfg
+    // Resolve once per strategy, not per (strategy, seed) cell:
+    // resolution is a pure function of (strategy, baseline instrs), so
+    // hoisting it out of the seed loop cannot change any outcome.
+    let resolved: Vec<SchedStrategy> = cfg
         .strategies
         .iter()
+        .map(|&s| resolve_strategy(s, instrs))
+        .collect();
+    let combos: Vec<(usize, SchedStrategy, u64)> = resolved
+        .iter()
         .enumerate()
-        .flat_map(|(si, &s)| {
-            cfg.seeds
-                .iter()
-                .map(move |&seed| (si, resolve_strategy(s, instrs), seed))
-        })
+        .flat_map(|(si, &s)| cfg.seeds.iter().map(move |&seed| (si, s, seed)))
         .collect();
     let outcomes = par_map_jobs(&combos, cfg.jobs, |&(si, sched, seed)| {
         (
@@ -428,6 +431,42 @@ mod tests {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert!(json_str("a\"b\\c\nd").contains("\\\""));
+    }
+
+    #[test]
+    fn hoisted_strategy_resolution_pins_per_cell_report() {
+        // The sweep now resolves each strategy once per program; the
+        // pre-hoist code resolved inside the per-seed loop. Resolution is
+        // a pure function of (strategy, baseline instrs), so the report
+        // must be byte-identical — pin that by rebuilding every outcome
+        // with per-cell resolution and comparing debug renderings.
+        let p = compile(RACY).unwrap();
+        let a = analyze(&p, &PipelineConfig::default());
+        let cfg = ExploreConfig {
+            check_drd: true,
+            ..small_cfg()
+        };
+        let r = explore("racy", &a, &cfg);
+        let statics: BTreeSet<(AccessId, AccessId)> =
+            a.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+        let instrs = execute(&a.instrumented, &cfg.exec).stats.instrs;
+        for (si, &strat) in cfg.strategies.iter().enumerate() {
+            for (sj, &seed) in cfg.seeds.iter().enumerate() {
+                let o = run_cell(
+                    &a.instrumented,
+                    Some((&a.program, &statics)),
+                    resolve_strategy(strat, instrs),
+                    seed,
+                    &cfg.exec,
+                    cfg.check_drd,
+                );
+                assert_eq!(
+                    format!("{:?}", r.strategies[si].outcomes[sj]),
+                    format!("{o:?}"),
+                    "cell (strategy {si}, seed {seed}) drifted after hoisting"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | record/replay | [`chimera_replay`] |
 //! | benchmarks | [`chimera_workloads`] |
 //! | fleet orchestrator | [`chimera_fleet`] |
+//! | evidence-driven demotion | [`chimera_plan`] |
 //!
 //! # Quickstart
 //!
@@ -75,6 +76,11 @@ pub use chimera_fleet::{
     Interest, Journal,
 };
 
+pub use chimera_plan::{
+    apply_plan, demote, gather_evidence, verify_under_plan, CertifiedPlan, Evidence, GatherConfig,
+    Thresholds,
+};
+
 // Re-export the member crates for one-stop access.
 pub use chimera_bounds as bounds;
 pub use chimera_drd as drd;
@@ -82,6 +88,7 @@ pub use chimera_fleet as fleet;
 pub use chimera_instrument as instrument;
 pub use chimera_instrument::OptSet;
 pub use chimera_minic as minic;
+pub use chimera_plan as planning;
 pub use chimera_profile as profile;
 pub use chimera_pta as pta;
 pub use chimera_relay as relay;

@@ -220,6 +220,32 @@ impl SegmentCertificate {
         }
     }
 
+    /// Reconstruct a certificate from serialized fields, re-deriving the
+    /// digest binding. A stored digest that does not match the other
+    /// fields is a forged or corrupted certificate and is rejected — this
+    /// is the self-check every container decode must run before trusting
+    /// an embedded certificate.
+    pub fn from_parts(
+        seed: u64,
+        threads: u64,
+        instrs: u64,
+        sync_ops: u64,
+        state_hash: u64,
+        digest: u64,
+    ) -> Result<SegmentCertificate, String> {
+        if digest != Self::digest_of(seed, threads, instrs, sync_ops, state_hash) {
+            return Err("segment certificate: digest does not bind the attested fields".into());
+        }
+        Ok(SegmentCertificate {
+            seed,
+            threads,
+            instrs,
+            sync_ops,
+            state_hash,
+            digest,
+        })
+    }
+
     fn digest_of(seed: u64, threads: u64, instrs: u64, sync_ops: u64, state_hash: u64) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for word in [seed, threads, instrs, sync_ops, state_hash] {
@@ -524,6 +550,41 @@ mod tests {
         let run = detect(&p, &cfg);
         assert!(!run.report.is_race_free());
         assert!(run.certificate(&cfg).is_none());
+    }
+
+    #[test]
+    fn certificate_reconstructs_from_parts_and_rejects_forgery() {
+        let p = compile(
+            "int g; lock_t m;
+             void w(int v) { lock(&m); g = g + v; unlock(&m); }
+             int main() { int t; t = spawn(w, 1); w(2); join(t);
+                          print(g); return 0; }",
+        )
+        .unwrap();
+        let cfg = ExecConfig::default();
+        let run = detect(&p, &cfg);
+        let cert = run.certificate(&cfg).expect("race-free run certifies");
+        let back = SegmentCertificate::from_parts(
+            cert.seed,
+            cert.threads,
+            cert.instrs,
+            cert.sync_ops,
+            cert.state_hash,
+            cert.digest,
+        )
+        .expect("faithful fields reconstruct");
+        assert_eq!(back, cert);
+        // Tamper with any attested field: the digest no longer binds.
+        let err = SegmentCertificate::from_parts(
+            cert.seed,
+            cert.threads,
+            cert.instrs,
+            cert.sync_ops,
+            cert.state_hash ^ 1,
+            cert.digest,
+        )
+        .unwrap_err();
+        assert!(err.contains("digest"), "{err}");
     }
 
     #[test]

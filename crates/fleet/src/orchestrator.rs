@@ -342,10 +342,17 @@ pub fn run_fleet(targets: &[FleetTarget], cfg: &FleetConfig) -> Result<FleetRun,
     let mut grid: Vec<Cell> = Vec::new();
     for (ti, target) in targets.iter().enumerate() {
         let pdig = program_digest(&target.program);
-        // One baseline run per target sizes PCT auto-spans.
+        // One baseline run per target sizes PCT auto-spans; resolve each
+        // strategy once per target (resolution is a pure function of the
+        // strategy and the baseline instruction count, so per-cell
+        // recomputation could never differ — it was just wasted work).
         let baseline = execute(&target.program, &cfg.exec);
+        let resolved: Vec<SchedStrategy> = cfg
+            .strategies
+            .iter()
+            .map(|&s| resolve_strategy(s, baseline.stats.instrs))
+            .collect();
         for (si, &strat) in cfg.strategies.iter().enumerate() {
-            let resolved = resolve_strategy(strat, baseline.stats.instrs);
             for &seed in &cfg.seeds {
                 grid.push(Cell {
                     target: ti,
@@ -355,7 +362,7 @@ pub fn run_fleet(targets: &[FleetTarget], cfg: &FleetConfig) -> Result<FleetRun,
                     // deterministic function of (program, exec), both
                     // already in the key.
                     key: CellKey::new(pdig, strat, seed, edig),
-                    sched: resolved,
+                    sched: resolved[si],
                 });
             }
         }

@@ -235,3 +235,49 @@ fn corrupt_journal_stops_a_resume_loudly() {
     .unwrap_err();
     assert!(err.contains("journal"), "{err}");
 }
+
+#[test]
+fn hoisted_strategy_resolution_pins_report_byte_identity() {
+    // The orchestrator resolves each strategy once per target; the
+    // pre-hoist code recomputed `resolve_strategy` deeper in the grid
+    // loop. Resolution is a pure function of (strategy, baseline
+    // instrs), so the hoist must not move a single byte of the report —
+    // pin that by rebuilding every row with per-cell resolution through
+    // the same shared cell body.
+    use chimera_fleet::cell::{resolve_strategy, run_cell};
+    use chimera_runtime::execute;
+    use std::collections::BTreeSet;
+
+    let target = locked_target();
+    let cfg = FleetConfig::default();
+    let run = run_fleet(&[locked_target()], &cfg).unwrap();
+
+    let baseline = execute(&target.program, &cfg.exec);
+    for (si, &strat) in cfg.strategies.iter().enumerate() {
+        let row = &run.report.targets[0].strategies[si];
+        let mut orders = BTreeSet::new();
+        let mut prefixes = BTreeSet::new();
+        let (mut divergences, mut violations, mut preemptions) = (0u64, 0u64, 0u64);
+        for &seed in &cfg.seeds {
+            let o = run_cell(
+                &target.program,
+                None,
+                resolve_strategy(strat, baseline.stats.instrs),
+                seed,
+                &cfg.exec,
+                cfg.check_drd,
+            );
+            orders.insert(o.order_hash);
+            prefixes.insert(o.prefix_hash);
+            divergences += o.diverged() as u64;
+            violations += o.violations.len() as u64;
+            preemptions += o.preemptions;
+        }
+        assert_eq!(row.cells, cfg.seeds.len() as u64);
+        assert_eq!(row.divergences, divergences);
+        assert_eq!(row.violations, violations);
+        assert_eq!(row.preemptions, preemptions);
+        assert_eq!(row.distinct_orders, orders.len());
+        assert_eq!(row.distinct_prefixes, prefixes.len());
+    }
+}

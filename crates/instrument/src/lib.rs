@@ -46,7 +46,7 @@ pub mod rewrite;
 
 pub use baseline::plan_leap_baseline;
 pub use clique::{assign_cliques, Clique, CliqueAssignment};
-pub use plan::{plan, plan_site_counts, LoopLockSpec, OptSet, Plan, PlanStats};
+pub use plan::{plan, plan_demoted, plan_site_counts, DemotedSet, LoopLockSpec, OptSet, Plan, PlanStats};
 pub use rewrite::apply;
 
 use chimera_minic::ir::Program;
@@ -61,6 +61,22 @@ pub fn instrument(
     opts: &OptSet,
 ) -> (Program, Plan) {
     let p = plan(program, races, profile, opts);
+    let instrumented = apply(program, &p);
+    (instrumented, p)
+}
+
+/// [`instrument`] under a demotion set: pairs certified race-free by
+/// dynamic evidence are stripped before planning, and the rewrite emits
+/// no weak-lock traffic for them. With every pair demoted the result is
+/// the original program verbatim (zero weak-locks).
+pub fn instrument_demoted(
+    program: &Program,
+    races: &RaceReport,
+    profile: &ProfileData,
+    opts: &OptSet,
+    demoted: &DemotedSet,
+) -> (Program, Plan) {
+    let p = plan_demoted(program, races, profile, opts, demoted);
     let instrumented = apply(program, &p);
     (instrumented, p)
 }

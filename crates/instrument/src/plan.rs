@@ -99,6 +99,9 @@ pub struct PlanStats {
     pub sides_instr: u32,
     /// Number of cliques formed.
     pub cliques: u32,
+    /// Pairs demoted to unsynchronized access by dynamic evidence
+    /// (`pairs_total` counts only the pairs actually planned for).
+    pub pairs_demoted: u32,
 }
 
 /// The complete instrumentation plan for a program.
@@ -486,6 +489,43 @@ pub fn plan(
     }
     plan.n_weak_locks = next_lock;
     plan
+}
+
+/// Race pairs that dynamic evidence has certified race-free: planning
+/// skips them entirely, so no weak-lock protects either side (unless the
+/// side also appears in a pair that was *not* demoted).
+pub type DemotedSet = BTreeSet<(AccessId, AccessId)>;
+
+/// [`plan`] with a demotion set: pairs in `demoted` are stripped from the
+/// race report before planning, so they earn no weak-lock at any
+/// granularity. An access shared between a demoted and a kept pair is
+/// still protected — demotion is per *pair*, and a surviving pair keeps
+/// its sides locked. The count of stripped pairs lands in
+/// [`PlanStats::pairs_demoted`].
+pub fn plan_demoted(
+    program: &Program,
+    races: &RaceReport,
+    profile: &ProfileData,
+    opts: &OptSet,
+    demoted: &DemotedSet,
+) -> Plan {
+    let kept = RaceReport {
+        pairs: races
+            .pairs
+            .iter()
+            .filter(|p| !demoted.contains(&(p.a, p.b)))
+            .copied()
+            .collect(),
+        witnesses: races
+            .witnesses
+            .iter()
+            .filter(|(p, _)| !demoted.contains(&(p.a, p.b)))
+            .map(|(p, o)| (*p, *o))
+            .collect(),
+    };
+    let mut p = plan(program, &kept, profile, opts);
+    p.stats.pairs_demoted = (races.pairs.len() - kept.pairs.len()) as u32;
+    p
 }
 
 /// How many distinct acquire sites the plan creates per granularity —

@@ -1,0 +1,46 @@
+//! `chimera-plan` — closing the hybrid loop: evidence-driven weak-lock
+//! demotion with certified, replayable plans.
+//!
+//! Chimera's pipeline so far runs *open-loop*: RELAY's sound-but-imprecise
+//! static race pairs decide the weak-lock plan, the fleet sweeps the
+//! instrumented program across hostile schedules, FastTrack measures a
+//! false-positive ratio — and none of that dynamic knowledge ever flows
+//! back into the plan. This crate closes the loop (the paper's §6
+//! overhead arc: 53x naive instrumentation down to 1.39x once detection
+//! narrows what must be serialized):
+//!
+//! 1. [`gather_evidence`] sweeps the instrumented program across
+//!    `strategies × seeds` (the shared fleet cell body), FastTracks both
+//!    program variants per cell, and packages the result as a checksummed
+//!    [`Evidence`] container (`.chev`) with a DRD
+//!    [`chimera_drd::SegmentCertificate`].
+//! 2. [`demote`] turns evidence into a [`CertifiedPlan`] (`.chpl`): every
+//!    static pair that stayed race-free across the whole hostile sweep is
+//!    demoted to unsynchronized access, with the justifying cells recorded
+//!    pair by pair; coverage below `--min-seeds` / `--min-strategies`, a
+//!    missing certificate, unclean cells, or a statically-unpredicted
+//!    dynamic race **refuse** demotion with a named [`Refusal`].
+//! 3. [`apply_plan`] re-instruments with the demoted pairs stripped
+//!    (digest-checked against the certified program and instrumentation),
+//!    and [`verify_under_plan`] re-checks FastTrack + record/replay under
+//!    the thinner plan — any divergence names the demoted pair it
+//!    contradicts ([`Contradiction`]).
+//!
+//! Both containers follow the replay-v2 frame idiom (4-byte magic, varint
+//! version, checksummed varint-framed sections): hostile bytes fail with
+//! a section-naming error, never a panic, and a byte-edited certificate
+//! can never decode into a trusted plan.
+
+#![warn(missing_docs)]
+
+pub mod demote;
+pub mod evidence;
+
+pub use demote::{
+    apply_plan, demote, verify_under_plan, CertifiedPlan, Contradiction, Demotion, Refusal,
+    Thresholds, PLAN_EXT, PLAN_MAGIC, PLAN_VERSION,
+};
+pub use evidence::{
+    gather_evidence, Evidence, EvidenceCell, GatherConfig, EVIDENCE_EXT, EVIDENCE_MAGIC,
+    EVIDENCE_VERSION,
+};

@@ -1,0 +1,303 @@
+//! The certified-plan contract, end to end: evidence containers
+//! round-trip and reject every corruption; demotion is earned only by
+//! clean, diverse evidence (racy fixtures never earn it); every refusal
+//! fires with its stable code; forged plans are rejected at decode; and
+//! a contradiction under a bad plan names the demoted pair it refutes.
+
+use chimera_fleet::cell::program_digest;
+use chimera_instrument::{instrument, OptSet};
+use chimera_minic::compile;
+use chimera_minic::ir::{AccessId, Program};
+use chimera_plan::{
+    apply_plan, demote, gather_evidence, verify_under_plan, CertifiedPlan, Demotion, Evidence,
+    GatherConfig, Refusal, Thresholds,
+};
+use chimera_profile::{profile_runs, ProfileData};
+use chimera_relay::{detect_races, RaceReport};
+use chimera_runtime::ExecConfig;
+
+const PARTITIONED: &str = include_str!("../../../fixtures/partitioned_sum.mc");
+const RACY_COUNTER: &str = include_str!("../../../fixtures/racy_counter.mc");
+const RACY_RW: &str = include_str!("../../../fixtures/racy_rw.mc");
+
+struct Analyzed {
+    program: Program,
+    races: RaceReport,
+    profile: ProfileData,
+    instrumented: Program,
+}
+
+fn analyze(src: &str) -> Analyzed {
+    let program = compile(src).expect("fixture compiles");
+    let races = detect_races(&program);
+    let profile = profile_runs(&program, &ExecConfig::default(), &[0, 1]);
+    let (instrumented, _) = instrument(&program, &races, &profile, &OptSet::all());
+    Analyzed {
+        program,
+        races,
+        profile,
+        instrumented,
+    }
+}
+
+fn gather(a: &Analyzed, name: &str, cfg: &GatherConfig) -> Evidence {
+    let statics: Vec<_> = a.races.pairs.iter().map(|p| (p.a, p.b)).collect();
+    gather_evidence(name, &a.program, &a.instrumented, &statics, cfg)
+}
+
+#[test]
+fn evidence_roundtrips_bytes_exactly() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "partitioned_sum", &GatherConfig::default());
+    assert!(!ev.static_pairs.is_empty(), "fixture lost its static alarm");
+    assert!(ev.certificate.is_some(), "fixture lost its certificate");
+    let bytes = ev.to_bytes();
+    assert_eq!(bytes, ev.to_bytes(), "serialization must be deterministic");
+    let back = Evidence::from_bytes(&bytes).expect("own bytes decode");
+    assert_eq!(back, ev);
+}
+
+#[test]
+fn demotable_fixture_earns_full_demotion_and_plan_roundtrips() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "partitioned_sum", &GatherConfig::default());
+    assert!(ev.confirmed_racy.is_empty(), "{:?}", ev.confirmed_racy);
+    let plan = demote(&ev, &Thresholds::default()).expect("clean evidence demotes");
+    assert_eq!(plan.demotions.len(), ev.static_pairs.len());
+    assert!(plan.kept.is_empty());
+
+    let back = CertifiedPlan::from_bytes(&plan.to_bytes()).expect("own bytes decode");
+    assert_eq!(back, plan);
+
+    // Full demotion strips every weak-lock: the planned program is the
+    // original program, byte for byte in the IR.
+    let (planned, stats) =
+        apply_plan(&a.program, &a.races, &a.profile, &OptSet::all(), &plan).expect("plan applies");
+    assert_eq!(stats.stats.pairs_demoted as usize, ev.static_pairs.len());
+    assert_eq!(planned.weak_locks, 0);
+    assert_eq!(
+        chimera_minic::pretty::program_to_string(&planned),
+        chimera_minic::pretty::program_to_string(&a.program),
+    );
+    verify_under_plan(&planned, &plan, &ExecConfig::default()).expect("planned run verifies");
+}
+
+#[test]
+fn racy_fixtures_never_earn_demotion_of_their_racy_pairs() {
+    for (name, src) in [("racy_counter", RACY_COUNTER), ("racy_rw", RACY_RW)] {
+        let a = analyze(src);
+        let ev = gather(&a, name, &GatherConfig::default());
+        assert!(
+            !ev.confirmed_racy.is_empty(),
+            "{name}: the hostile sweep failed to confirm any race dynamically"
+        );
+        let plan = demote(&ev, &Thresholds::default()).expect("clean sweep still plans");
+        assert_eq!(plan.kept, ev.confirmed_racy, "{name}");
+        for d in &plan.demotions {
+            assert!(
+                !ev.confirmed_racy.contains(&d.pair),
+                "{name}: dynamically racy pair ({}, {}) was demoted",
+                d.pair.0,
+                d.pair.1
+            );
+        }
+        // The genuinely racy accesses stay instrumented, so the planned
+        // program still carries weak-locks.
+        let (planned, _) =
+            apply_plan(&a.program, &a.races, &a.profile, &OptSet::all(), &plan).unwrap();
+        assert!(planned.weak_locks > 0, "{name}: racy pairs lost their locks");
+    }
+}
+
+#[test]
+fn every_refusal_fires_with_its_stable_code() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "partitioned_sum", &GatherConfig::default());
+    let t = Thresholds::default();
+
+    let mut no_cert = ev.clone();
+    no_cert.certificate = None;
+    let e = demote(&no_cert, &t).unwrap_err();
+    assert_eq!(e.code(), "no-certificate");
+    assert!(e.to_string().contains("demotion refused (no-certificate)"), "{e}");
+
+    let mut unpred = ev.clone();
+    unpred.unpredicted.push((AccessId(998), AccessId(999)));
+    let e = demote(&unpred, &t).unwrap_err();
+    assert_eq!(e.code(), "unpredicted-races");
+    assert!(e.to_string().contains("(acc998, acc999)"), "{e}");
+
+    let mut unclean = ev.clone();
+    unclean.cells[4].clean = false;
+    let e = demote(&unclean, &t).unwrap_err();
+    assert_eq!(e.code(), "unclean-evidence");
+    assert!(e.to_string().contains("[4]"), "{e}");
+
+    let e = demote(&ev, &Thresholds { min_seeds: 99, ..t }).unwrap_err();
+    assert_eq!(e.code(), "insufficient-seeds");
+    assert!(matches!(e, Refusal::InsufficientSeeds { seeds: 3, min: 99 }), "{e:?}");
+
+    let e = demote(&ev, &Thresholds { min_strategies: 99, ..t }).unwrap_err();
+    assert_eq!(e.code(), "insufficient-strategies");
+    assert!(
+        matches!(e, Refusal::InsufficientStrategies { strategies: 3, min: 99 }),
+        "{e:?}"
+    );
+
+    // Refusals are ordered: a missing certificate outranks everything,
+    // unpredicted races outrank coverage complaints.
+    let mut worst = ev.clone();
+    worst.certificate = None;
+    worst.unpredicted.push((AccessId(998), AccessId(999)));
+    worst.cells[0].clean = false;
+    assert_eq!(demote(&worst, &t).unwrap_err().code(), "no-certificate");
+    worst.certificate = ev.certificate;
+    assert_eq!(demote(&worst, &t).unwrap_err().code(), "unpredicted-races");
+}
+
+#[test]
+fn evidence_corruption_suite_every_truncation_and_byte_flip_rejected() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "partitioned_sum", &GatherConfig::default());
+    corruption_suite("evidence", &ev.to_bytes(), |b| {
+        Evidence::from_bytes(b).map(|_| ())
+    });
+}
+
+#[test]
+fn plan_corruption_suite_every_truncation_and_byte_flip_rejected() {
+    let a = analyze(RACY_COUNTER);
+    let ev = gather(&a, "racy_counter", &GatherConfig::default());
+    let plan = demote(&ev, &Thresholds::default()).unwrap();
+    corruption_suite("plan", &plan.to_bytes(), |b| {
+        CertifiedPlan::from_bytes(b).map(|_| ())
+    });
+}
+
+/// Every strict prefix must fail to decode; every single-byte flip (both
+/// a one-bit and an all-bits flip at every offset) must fail to decode;
+/// and every error must name a section of the container. Decoding must
+/// never panic — a panic here fails the test by aborting it.
+fn corruption_suite(
+    container: &str,
+    bytes: &[u8],
+    decode: impl Fn(&[u8]) -> Result<(), String>,
+) {
+    decode(bytes).expect("pristine bytes decode");
+    for k in 0..bytes.len() {
+        let err = decode(&bytes[..k])
+            .expect_err(&format!("{container}: truncation to {k} byte(s) accepted"));
+        assert!(
+            err.contains(container),
+            "{container}: truncation to {k} byte(s) did not name a section: {err}"
+        );
+    }
+    for mask in [0x01u8, 0xFF] {
+        for i in 0..bytes.len() {
+            let mut evil = bytes.to_vec();
+            evil[i] ^= mask;
+            let err = decode(&evil).expect_err(&format!(
+                "{container}: byte {i} flipped with {mask:#04x} still accepted"
+            ));
+            assert!(
+                !err.is_empty(),
+                "{container}: byte {i} flip produced an empty error"
+            );
+        }
+    }
+}
+
+#[test]
+fn forged_plan_partitions_are_rejected_at_decode() {
+    let a = analyze(RACY_COUNTER);
+    let ev = gather(&a, "racy_counter", &GatherConfig::default());
+    let plan = demote(&ev, &Thresholds::default()).unwrap();
+    assert!(!plan.demotions.is_empty() && !plan.kept.is_empty(), "fixture drifted");
+
+    // Forgery 1: silently drop a kept (racy!) pair — the partition no
+    // longer covers the static set.
+    let mut dropped = plan.clone();
+    dropped.kept.pop();
+    let e = CertifiedPlan::from_bytes(&dropped.to_bytes()).unwrap_err();
+    assert!(e.contains("plan partition"), "{e}");
+
+    // Forgery 2: demote a pair while also keeping it.
+    let mut doubled = plan.clone();
+    let racy_pair = plan.kept[0];
+    let mut cells: Vec<u32> = (0..plan.cells.len() as u32).collect();
+    cells.truncate(3);
+    doubled.demotions.insert(0, Demotion { pair: racy_pair, cells });
+    doubled.demotions.sort_by_key(|d| d.pair);
+    let e = CertifiedPlan::from_bytes(&doubled.to_bytes()).unwrap_err();
+    assert!(e.contains("both demoted and kept"), "{e}");
+
+    // Forgery 3: demote a pair RELAY never reported.
+    let mut invented = plan.clone();
+    invented.demotions.push(Demotion {
+        pair: (AccessId(777), AccessId(778)),
+        cells: vec![0],
+    });
+    let e = CertifiedPlan::from_bytes(&invented.to_bytes()).unwrap_err();
+    assert!(e.contains("not a static pair"), "{e}");
+
+    // Forgery 4: a justifying cell index past the recorded cells.
+    let mut phantom = plan.clone();
+    phantom.demotions[0].cells = vec![plan.cells.len() as u32];
+    let e = CertifiedPlan::from_bytes(&phantom.to_bytes()).unwrap_err();
+    assert!(e.contains("out of range"), "{e}");
+}
+
+#[test]
+fn plan_mismatches_are_named_when_applied_to_the_wrong_program() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "partitioned_sum", &GatherConfig::default());
+    let plan = demote(&ev, &Thresholds::default()).unwrap();
+
+    let other = analyze(RACY_COUNTER);
+    let e = apply_plan(&other.program, &other.races, &other.profile, &OptSet::all(), &plan)
+        .unwrap_err();
+    assert!(e.contains("plan-mismatch (program-digest)"), "{e}");
+
+    // Same program, different optimization set: the instrumentation the
+    // evidence swept is not the one this configuration produces.
+    let e = apply_plan(&a.program, &a.races, &a.profile, &OptSet::naive(), &plan).unwrap_err();
+    assert!(e.contains("plan-mismatch (instrumented-digest)"), "{e}");
+}
+
+#[test]
+fn contradiction_names_the_demoted_pair_it_refutes() {
+    // Forge evidence claiming the racy counter's sweep saw no dynamic
+    // races (as if the sweep had been too gentle), demote everything,
+    // and run under the resulting — unsound — plan: verification must
+    // catch the race and attribute it to the demoted pair.
+    let a = analyze(RACY_COUNTER);
+    let mut ev = gather(&a, "racy_counter", &GatherConfig::default());
+    assert!(!ev.confirmed_racy.is_empty());
+    ev.confirmed_racy.clear();
+    let plan = demote(&ev, &Thresholds::default()).expect("forged evidence demotes");
+    assert_eq!(plan.demotions.len(), ev.static_pairs.len());
+
+    let (planned, _) =
+        apply_plan(&a.program, &a.races, &a.profile, &OptSet::all(), &plan).unwrap();
+    assert_eq!(planned.weak_locks, 0, "full demotion strips all locks");
+    let err = verify_under_plan(&planned, &plan, &ExecConfig::default())
+        .expect_err("the race must surface under the unsound plan");
+    assert!(err.contains("certified plan contradicted"), "{err}");
+    assert!(err.contains("demoted pair"), "{err}");
+    assert!(err.contains("evidence cell(s)"), "{err}");
+}
+
+#[test]
+fn evidence_find_matches_by_digest_not_name() {
+    let a = analyze(PARTITIONED);
+    let ev = gather(&a, "some_name", &GatherConfig::default());
+    let dir = std::env::temp_dir().join(format!("chev-find-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ev.save(&dir).unwrap();
+    let found = Evidence::find(&dir, program_digest(&a.program)).unwrap();
+    assert_eq!(found, ev);
+    let missing = Evidence::find(&dir, 0xDEAD_BEEF).unwrap_err();
+    assert!(missing.contains("no evidence for program digest"), "{missing}");
+    assert!(missing.contains("chimera explore --evidence"), "{missing}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
